@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*.py`` regenerates one of the paper's figures/tables at
+``bench`` scale (8-ary 2-cube, 16-flit messages — see DESIGN.md for the
+scaling rationale) and prints the same rows the paper plots.  The timed
+quantity is the full experiment; ``pedantic(rounds=1)`` is used because a
+multi-minute simulation sweep is its own statistics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+BENCH_OVERRIDES = dict(measure_cycles=2_000, warmup_cycles=400)
+BENCH_LOADS = [0.2, 0.5, 0.8, 1.2]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a single execution of ``fn`` and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_result(result) -> None:
+    print()
+    print(result.format_tables())

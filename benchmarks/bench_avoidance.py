@@ -1,0 +1,24 @@
+"""Benchmark: recovery vs avoidance on an equal resource budget (TAB-AVOID).
+
+Paper-motivated shape targets: the avoidance baselines are knot-free
+(detector validation), and unrestricted TFAR + recovery sustains at least
+dateline-DOR's peak throughput — the paper's viability conclusion.
+"""
+
+from benchmarks._util import BENCH_OVERRIDES, print_result, run_once
+from repro.experiments import avoidance_vs_recovery
+
+
+def test_recovery_vs_avoidance(benchmark):
+    result = run_once(
+        benchmark,
+        avoidance_vs_recovery.run,
+        scale="bench",
+        loads=[0.4, 0.8],
+        **BENCH_OVERRIDES,
+    )
+    print_result(result)
+    obs = result.observations
+    assert obs["dateline_total_deadlocks"] == 0
+    assert obs["duato_total_deadlocks"] == 0
+    assert obs["recovery_peak_throughput"] >= 0.8 * obs["dateline_peak_throughput"]

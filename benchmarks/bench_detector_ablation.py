@@ -1,0 +1,26 @@
+"""Benchmark: detector ablation (true knots vs timeout heuristics, ABL-DET).
+
+Shape target: timeout heuristics trade precision against recall with no
+good operating point — small thresholds flag swathes of merely-congested
+messages (false positives), large ones leave true deadlocks undetected for
+thousands of cycles.
+"""
+
+from benchmarks._util import BENCH_OVERRIDES, print_result, run_once
+from repro.experiments import detector_ablation
+
+
+def test_detector_ablation(benchmark):
+    result = run_once(
+        benchmark,
+        detector_ablation.run,
+        scale="bench",
+        load=1.0,
+        **BENCH_OVERRIDES,
+    )
+    print_result(result)
+    obs = result.observations
+    assert obs["true_deadlocks"] > 0
+    # precision improves with threshold, false positives shrink
+    assert obs["t2000_false_positives"] <= obs["t50_false_positives"]
+    assert obs["t2000_precision"] >= obs["t50_precision"] - 1e-9

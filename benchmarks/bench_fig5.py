@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 5 (uni- vs bidirectional torus, DOR, 1 VC).
+
+Paper shape targets: the uni-torus shows markedly higher normalized
+deadlocks at every load despite lower capacity; deadlock sets stay small
+and every deadlock is single-cycle.
+"""
+
+from benchmarks._util import BENCH_LOADS, BENCH_OVERRIDES, print_result, run_once
+from repro.experiments import fig5
+
+
+def test_fig5_uni_vs_bi(benchmark):
+    result = run_once(
+        benchmark, fig5.run, scale="bench", loads=BENCH_LOADS, **BENCH_OVERRIDES
+    )
+    print_result(result)
+    obs = result.observations
+    assert obs["uni_norm_deadlocks_deep"] > obs["bi_norm_deadlocks_deep"]
+    assert obs["uni_total_deadlocks"] > obs["bi_total_deadlocks"]

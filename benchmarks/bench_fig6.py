@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 6 (DOR vs TFAR adaptivity, 1 VC).
+
+Paper shape targets: DOR forms far more actual deadlocks (factor up to ~6)
+but every one is single-cycle and small; TFAR deadlocks are rare but large
+multi-cycle events with bigger deadlock/resource sets and knot densities.
+"""
+
+from benchmarks._util import BENCH_LOADS, BENCH_OVERRIDES, print_result, run_once
+from repro.experiments import fig6
+
+
+def test_fig6_dor_vs_tfar(benchmark):
+    result = run_once(
+        benchmark, fig6.run, scale="bench", loads=BENCH_LOADS, **BENCH_OVERRIDES
+    )
+    print_result(result)
+    obs = result.observations
+    assert obs["dor_total_deadlocks"] > obs["tfar_total_deadlocks"]
+    assert obs["dor_multi_cycle_deadlocks"] == 0
+    if obs["tfar_total_deadlocks"]:
+        assert obs["deadlock_set_ratio_tfar_over_dor"] > 1.0
+        assert obs["resource_set_ratio_tfar_over_dor"] > 1.0

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 7 (virtual channels, DOR/TFAR x 1..4 VCs).
+
+Paper shape targets: DOR with >= 3 VCs and TFAR with >= 2 VCs form no
+deadlocks at all; added VCs cut the blocked-message percentage; cycle
+counts climb steeply only near saturation.
+"""
+
+from benchmarks._util import BENCH_OVERRIDES, print_result, run_once
+from repro.experiments import fig7
+
+
+def test_fig7_virtual_channels(benchmark):
+    result = run_once(
+        benchmark,
+        fig7.run,
+        scale="bench",
+        loads=[0.6, 1.0],
+        vc_counts=(1, 2, 3, 4),
+        **BENCH_OVERRIDES,
+    )
+    print_result(result)
+    obs = result.observations
+    assert obs["DOR3_total_deadlocks"] == 0
+    assert obs["DOR4_total_deadlocks"] == 0
+    assert obs["TFAR2_total_deadlocks"] == 0
+    assert obs["TFAR3_total_deadlocks"] == 0
+    assert obs["TFAR4_total_deadlocks"] == 0
+    assert obs["DOR1_total_deadlocks"] >= obs["DOR2_total_deadlocks"]
+    # extra VCs reduce congestion: best-case blocked% falls monotonically
+    assert obs["TFAR4_min_blocked_pct"] <= obs["TFAR1_min_blocked_pct"] + 5.0

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 8 (buffer depth, wormhole -> cut-through).
+
+Paper shape targets: deeper buffers saturate at equal-or-higher loads;
+normalized per message in the network, the shallowest wormhole buffers
+deadlock the most and virtual cut-through the least.
+"""
+
+from benchmarks._util import BENCH_OVERRIDES, print_result, run_once
+from repro.experiments import fig8
+
+
+def test_fig8_buffer_depth(benchmark):
+    result = run_once(
+        benchmark,
+        fig8.run,
+        scale="bench",
+        loads=[0.8, 1.2],
+        **BENCH_OVERRIDES,
+    )
+    print_result(result)
+    obs = result.observations
+    depths = fig8.buffer_depths_for(16)
+    vct, shallow = max(depths), min(depths)
+    assert (
+        obs[f"buf{vct}_deadlocks_per_msg_in_net"]
+        <= obs[f"buf{shallow}_deadlocks_per_msg_in_net"] + 1e-9
+    )

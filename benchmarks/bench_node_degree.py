@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Section 3.5 (node degree / dimensionality).
+
+Paper shape target: the higher-dimensional equal-size torus forms a small
+fraction of the 2-D network's deadlocks (paper: <1% before saturation).
+"""
+
+from benchmarks._util import BENCH_OVERRIDES, print_result, run_once
+from repro.experiments import node_degree
+
+
+def test_node_degree(benchmark):
+    result = run_once(
+        benchmark,
+        node_degree.run,
+        scale="bench",
+        loads=[0.8, 1.2],
+        **BENCH_OVERRIDES,
+    )
+    print_result(result)
+    obs = result.observations
+    assert obs["high_dim_total_deadlocks"] <= obs["low_dim_total_deadlocks"]

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Section 3.6 (non-uniform traffic patterns).
+
+Paper shape target: non-uniform patterns behave broadly like uniform —
+except permutations that preclude the circular message overlap DOR
+single-cycle deadlocks require, which suppress DOR deadlocks.
+"""
+
+from benchmarks._util import BENCH_OVERRIDES, print_result, run_once
+from repro.experiments import traffic_patterns
+
+
+def test_traffic_patterns_dor(benchmark):
+    result = run_once(
+        benchmark,
+        traffic_patterns.run,
+        scale="bench",
+        loads=[0.8],
+        routing="dor",
+        **BENCH_OVERRIDES,
+    )
+    print_result(result)
+    assert result.observations["uniform_total_deadlocks"] >= 0
+    # every pattern produced a full sweep
+    assert len(result.sweeps) == 5

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Run the paper's entire characterization study and print every table.
+
+Drives all eight experiment runners (Figures 5-8, Sections 3.5/3.6, the
+recovery-vs-avoidance comparison and the detector ablation) at the chosen
+scale and prints the paper-style tables plus shape checks.
+
+Usage::
+
+    python examples/characterization_study.py [--scale tiny|bench|paper]
+    python examples/characterization_study.py --only FIG5,FIG7
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main() -> None:
+    argv = sys.argv[1:]
+    scale = "tiny"
+    if "--scale" in argv:
+        scale = argv[argv.index("--scale") + 1]
+    wanted = list(ALL_EXPERIMENTS)
+    if "--only" in argv:
+        wanted = argv[argv.index("--only") + 1].split(",")
+
+    for exp_id in wanted:
+        runner = ALL_EXPERIMENTS[exp_id]
+        print("#" * 72)
+        t0 = time.time()
+        result = runner(scale=scale)
+        print(result.format_tables())
+        print(f"[{exp_id} completed in {time.time() - t0:.1f}s at scale={scale}]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Trace-driven deadlock study: program-phase workloads.
+
+The paper's future work proposes "program-driven simulations".  This
+example replays three synthetic program-communication traces — stencil
+halo exchange, FFT butterfly stages, and a bursty all-to-all — through the
+flit-level simulator and reports deadlock formation per phase.  The bursty
+all-to-all (every node transmitting simultaneously) is the maximally
+correlated regime in which knots form most readily under DOR with one VC.
+
+Usage::
+
+    python examples/program_traces.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, build_topology
+from repro.metrics.analysis import analyze_records
+from repro.network.simulator import NetworkSimulator
+from repro.traffic.trace import all_to_all_trace, butterfly_trace, stencil_trace
+
+
+def replay(name, cfg, trace, max_cycles=40_000):
+    sim = NetworkSimulator(cfg, trace=trace)
+    result = sim.run_to_drain(max_cycles=max_cycles)
+    analysis = analyze_records(sim.detector.records)
+    done = result.delivered + result.recovered
+    print(f"{name}:")
+    print(f"  messages      : {done}/{len(trace)} completed "
+          f"({result.recovered} via recovery) in {sim.cycle} cycles")
+    print(f"  deadlocks     : {result.deadlocks} "
+          f"(avg set {result.avg_deadlock_set_size:.1f}, "
+          f"avg density {result.avg_knot_cycle_density:.1f})")
+    print(f"  peak blocked  : "
+          f"{max(result.blocked_samples, default=0)} messages")
+    print(f"  analysis      : {analysis.summary()}")
+    print()
+
+
+def main() -> None:
+    cfg = SimulationConfig(
+        k=6, n=2, routing="dor", num_vcs=1, message_length=8,
+        detection_interval=25, warmup_cycles=0, measure_cycles=1,
+    )
+    topo = build_topology(cfg)
+
+    print(f"replaying program traces on {cfg.k}-ary {cfg.n}-cube, "
+          f"{cfg.routing.upper()}{cfg.num_vcs}\n")
+    replay(
+        "stencil halo exchange (10 iterations)",
+        cfg,
+        stencil_trace(topo, iterations=10, period=300, length=8),
+    )
+    # the butterfly needs a power-of-two node count: use a 4-ary 2-cube
+    bf_cfg = cfg.replace(k=4)
+    replay(
+        "butterfly / FFT stages (4-ary 2-cube)",
+        bf_cfg,
+        butterfly_trace(build_topology(bf_cfg), period=300, length=8),
+    )
+    replay(
+        "bursty all-to-all (single instant)",
+        cfg,
+        all_to_all_trace(topo, period=0, length=8),
+    )
+    print("staggered all-to-all for comparison (one round per 150 cycles):")
+    replay(
+        "staggered all-to-all",
+        cfg,
+        all_to_all_trace(topo, period=150, length=8),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Watch a deadlock form, get detected, and get broken — live.
+
+Steps a deadlock-prone configuration (DOR, 1 VC, past saturation) cycle by
+cycle, printing the network occupancy grid periodically and, when the
+detector finds a knot, its full anatomy and position in the grid; then
+shows the network after Disha-style recovery breaks it.
+
+Usage::
+
+    python examples/watch_deadlock.py
+"""
+
+from __future__ import annotations
+
+from repro import NetworkSimulator, SimulationConfig
+from repro.viz import describe_event, render_knot, render_occupancy
+
+
+def main() -> None:
+    config = SimulationConfig(
+        k=6, n=2, routing="dor", num_vcs=1, message_length=8,
+        load=1.0, detection_interval=25, recovery="disha",
+        warmup_cycles=0, measure_cycles=1, seed=5,
+    )
+    sim = NetworkSimulator(config)
+    print(f"watching {config.label()} for its first true deadlock...\n")
+
+    shown = 0
+    for _ in range(20_000):
+        sim.step()
+        if sim.cycle % 200 == 0 and shown < 3:
+            print(render_occupancy(sim))
+            print()
+            shown += 1
+        record = sim.detector.records[-1] if sim.detector.records else None
+        if record and record.cycle == sim.cycle and record.events:
+            event = record.events[0]
+            print(describe_event(event))
+            print()
+            print(render_knot(sim, event))
+            print()
+            victim = sorted(event.deadlock_set)[0]
+            print(f"recovery removed one deadlock-set message; the other "
+                  f"{len(event.deadlock_set) - 1} resume as its channels free")
+            for _ in range(50):
+                sim.step()
+            print()
+            print("fifty cycles later:")
+            print(render_occupancy(sim))
+            return
+    print("no deadlock formed in 20,000 cycles (try another seed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+Two subcommands::
+
+    python -m repro simulate --k 8 --n 2 --routing dor --vcs 1 --load 0.8
+    python -m repro experiment FIG5 --scale bench [--csv out.csv] [--chart]
+
+``simulate`` runs one configuration and prints the run summary plus the
+deadlock characterization.  ``experiment`` regenerates one of the paper's
+figures/tables (FIG5, FIG6, FIG7, FIG8, SEC3.5, SEC3.6, TAB-AVOID,
+ABL-DET) and prints the paper-style tables, optionally with CSV export and
+ASCII charts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import SimulationConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Characterization of deadlocks in interconnection networks "
+            "(Warnakulasuriya & Pinkston, IPPS 1997) — flit-level simulator "
+            "with true CWG-knot deadlock detection"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one simulation")
+    sim.add_argument("--k", type=int, default=8, help="radix (default 8)")
+    sim.add_argument("--n", type=int, default=2, help="dimensions (default 2)")
+    sim.add_argument("--unidirectional", action="store_true")
+    sim.add_argument("--mesh", action="store_true")
+    sim.add_argument(
+        "--routing",
+        default="dor",
+        choices=["dor", "tfar", "tfar-mis", "dor-dateline", "duato",
+                 "negative-first"],
+    )
+    sim.add_argument("--vcs", type=int, default=1, help="virtual channels")
+    sim.add_argument("--buffer", type=int, default=2, help="buffer depth (flits)")
+    sim.add_argument("--length", type=int, default=16, help="message length")
+    sim.add_argument("--traffic", default="uniform")
+    sim.add_argument("--load", type=float, default=0.5, help="normalized load")
+    sim.add_argument("--recovery", default="disha",
+                     choices=["disha", "abort-all", "none"])
+    sim.add_argument("--warmup", type=int, default=500)
+    sim.add_argument("--cycles", type=int, default=3000, help="measured cycles")
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--progress", type=int, default=0,
+                     help="print progress every N cycles")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    exp.add_argument(
+        "id",
+        choices=["FIG5", "FIG6", "FIG7", "FIG8", "SEC3.5", "SEC3.6",
+                 "TAB-AVOID", "ABL-DET", "ABL-REC", "ABL-SEL", "ABL-INT",
+                 "ABL-TIMEOUT", "EXT-LEN", "EXT-GRAN", "EXT-FAULT", "ABL-ARB", "all"],
+    )
+    exp.add_argument("--scale", default="bench",
+                     choices=["tiny", "bench", "paper"])
+    exp.add_argument("--csv", metavar="PATH", help="also write CSV rows")
+    exp.add_argument("--chart", action="store_true",
+                     help="render ASCII charts of the figure series")
+    return parser
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    from repro.network.simulator import NetworkSimulator
+
+    config = SimulationConfig(
+        k=args.k,
+        n=args.n,
+        bidirectional=not args.unidirectional,
+        mesh=args.mesh,
+        routing=args.routing,
+        num_vcs=args.vcs,
+        buffer_depth=args.buffer,
+        message_length=args.length,
+        traffic=args.traffic,
+        load=args.load,
+        recovery=args.recovery,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        seed=args.seed,
+    )
+    sim = NetworkSimulator(config)
+    print(f"simulating {config.label()} ...")
+    result = sim.run(progress_every=args.progress)
+    cap = sim.topology.capacity_flits_per_node_cycle
+    print(result.summary())
+    print(f"throughput (normalized): {result.normalized_throughput(cap):.3f}")
+    print(
+        f"deadlocks: {result.deadlocks} "
+        f"({result.single_cycle_deadlocks} single-cycle, "
+        f"{result.multi_cycle_deadlocks} multi-cycle)"
+    )
+    if result.deadlocks:
+        print(
+            f"avg deadlock set {result.avg_deadlock_set_size:.1f} msgs, "
+            f"avg resource set {result.avg_resource_set_size:.1f} VCs, "
+            f"avg knot density {result.avg_knot_cycle_density:.1f}"
+        )
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.report import render_figure, sweep_csv
+
+    wanted = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+    csv_parts = []
+    for exp_id in wanted:
+        result = ALL_EXPERIMENTS[exp_id](scale=args.scale)
+        print(result.format_tables())
+        if args.chart:
+            print()
+            print(render_figure(result, "norm_deadlocks"))
+            print()
+            print(render_figure(result, "throughput"))
+        if args.csv:
+            csv_parts.append(sweep_csv(result))
+        print()
+    if args.csv and csv_parts:
+        header = csv_parts[0].splitlines()[0]
+        body = [ln for part in csv_parts for ln in part.splitlines()[1:]]
+        with open(args.csv, "w") as fh:
+            fh.write("\n".join([header, *body]) + "\n")
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    return _run_experiment(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Simulation configuration.
+
+:class:`SimulationConfig` captures every knob the paper's study turns:
+topology radix/dimension, link directionality, routing algorithm, virtual
+channels per physical channel, edge-buffer depth, message length, traffic
+pattern, offered load, deadlock-detection interval and recovery policy.
+
+The paper's default configuration is a 16-ary 2-cube bidirectional torus,
+32-flit messages, 2-flit edge buffers, one injection and one reception
+channel per node, detection every 50 cycles, and straight-through-preferring
+channel selection — see :func:`paper_default`.  Because a pure-Python
+flit-level simulation of 256 nodes is slow, :func:`bench_default` scales the
+radix down while preserving every behavioural ratio the experiments measure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SimulationConfig", "paper_default", "bench_default", "tiny_default"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full description of one simulation run."""
+
+    # -- topology ---------------------------------------------------------------
+    k: int = 16  #: radix (nodes per dimension)
+    n: int = 2  #: dimensions
+    bidirectional: bool = True  #: physical channel in each direction?
+    mesh: bool = False  #: mesh instead of torus (for turn-model baselines)
+    failed_links: tuple[tuple[int, int], ...] = ()  #: removed (src, dst) pairs
+
+    # -- router -----------------------------------------------------------------
+    num_vcs: int = 1  #: virtual channels per physical channel
+    buffer_depth: int = 2  #: edge-buffer depth in flits
+    router_delay: int = 0  #: cycles between header arrival and routing
+    rx_channels: int = 1  #: reception (ejection) channels per node
+    routing: str = "tfar"  #: routing algorithm short name
+    selection: str = "straight"  #: channel-selection policy short name
+    arbitration: str = "random"  #: service order: "random"|"oldest-first"|"round-robin"
+
+    # -- workload ----------------------------------------------------------------
+    message_length: int = 32  #: flits per message
+    #: optional hybrid lengths: ((length, weight), ...); empty = fixed length
+    length_mix: tuple[tuple[int, float], ...] = ()
+    traffic: str = "uniform"  #: traffic pattern short name
+    #: components for traffic="hybrid": ((pattern_name, weight), ...)
+    traffic_mix: tuple[tuple[str, float], ...] = ()
+    load: float = 0.5  #: normalized offered load (1.0 = capacity)
+    hotspot_fraction: float = 0.1  #: only used by hot-spot traffic
+    max_queued_per_node: Optional[int] = 64  #: source-queue cap (None = unbounded)
+
+    # -- deadlock handling --------------------------------------------------------
+    detection_interval: int = 50  #: cycles between detector invocations
+    detection_mode: str = "knot"  #: "knot" (true detection) or "timeout"
+    cwg_maintenance: str = "rebuild"  #: "rebuild" per detection or "incremental"
+    timeout_threshold: int = 500  #: blocked-cycles threshold for timeout mode
+    recovery: str = "disha"  #: recovery policy short name
+    recovery_teardown: str = "instant"  #: "instant" or "flit-by-flit"
+    count_cycles: bool = True  #: enumerate CWG cycles at each detection?
+    max_cycles_counted: int = 50_000  #: cap on cycle enumeration per detection
+    record_blocked_durations: bool = False  #: keep per-message blocked times
+
+    # -- run control ----------------------------------------------------------------
+    warmup_cycles: int = 1_000  #: cycles before statistics collection starts
+    measure_cycles: int = 30_000  #: measured cycles (paper: 30,000 past steady state)
+    seed: int = 1  #: RNG seed (runs are fully deterministic given the seed)
+    check_invariants: bool = False  #: run conservation checks every cycle (slow)
+
+    def validate(self) -> None:
+        if self.k < 2:
+            raise ConfigurationError(f"k must be >= 2, got {self.k}")
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.num_vcs < 1:
+            raise ConfigurationError(f"num_vcs must be >= 1, got {self.num_vcs}")
+        if self.buffer_depth < 1:
+            raise ConfigurationError(
+                f"buffer_depth must be >= 1, got {self.buffer_depth}"
+            )
+        if self.router_delay < 0:
+            raise ConfigurationError(
+                f"router_delay must be >= 0, got {self.router_delay}"
+            )
+        if self.rx_channels < 1:
+            raise ConfigurationError(
+                f"rx_channels must be >= 1, got {self.rx_channels}"
+            )
+        if self.message_length < 1:
+            raise ConfigurationError(
+                f"message_length must be >= 1, got {self.message_length}"
+            )
+        if self.load < 0:
+            raise ConfigurationError(f"load must be >= 0, got {self.load}")
+        if self.detection_interval < 1:
+            raise ConfigurationError(
+                f"detection_interval must be >= 1, got {self.detection_interval}"
+            )
+        if self.warmup_cycles < 0 or self.measure_cycles < 1:
+            raise ConfigurationError("invalid warmup/measure cycle counts")
+        if self.mesh and not self.bidirectional:
+            raise ConfigurationError("meshes are always bidirectional")
+        if self.mesh and self.failed_links:
+            raise ConfigurationError("failed links are modelled on tori only")
+        if self.arbitration not in ("random", "oldest-first", "round-robin"):
+            raise ConfigurationError(
+                "arbitration must be 'random', 'oldest-first' or "
+                f"'round-robin', got {self.arbitration!r}"
+            )
+        if self.cwg_maintenance not in ("rebuild", "incremental"):
+            raise ConfigurationError(
+                "cwg_maintenance must be 'rebuild' or 'incremental', "
+                f"got {self.cwg_maintenance!r}"
+            )
+        if self.detection_mode not in ("knot", "timeout"):
+            raise ConfigurationError(
+                f"detection_mode must be 'knot' or 'timeout', got {self.detection_mode!r}"
+            )
+        if self.timeout_threshold < 1:
+            raise ConfigurationError(
+                f"timeout_threshold must be >= 1, got {self.timeout_threshold}"
+            )
+        if self.recovery_teardown not in ("instant", "flit-by-flit"):
+            raise ConfigurationError(
+                "recovery_teardown must be 'instant' or 'flit-by-flit', "
+                f"got {self.recovery_teardown!r}"
+            )
+        if self.traffic == "hybrid" and not self.traffic_mix:
+            raise ConfigurationError("hybrid traffic requires traffic_mix")
+        for length, weight in self.length_mix:
+            if length < 1 or weight <= 0:
+                raise ConfigurationError(
+                    f"invalid length_mix entry ({length}, {weight})"
+                )
+
+    def replace(self, **changes) -> "SimulationConfig":
+        """A copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.k**self.n
+
+    @property
+    def is_cut_through(self) -> bool:
+        """Virtual cut-through: a buffer can hold an entire message."""
+        return self.buffer_depth >= self.message_length
+
+    def label(self) -> str:
+        """Short human-readable tag used in experiment tables."""
+        kind = "mesh" if self.mesh else ("bi" if self.bidirectional else "uni")
+        return (
+            f"{self.k}-ary {self.n}-cube/{kind} {self.routing.upper()}"
+            f"{self.num_vcs} buf={self.buffer_depth} L={self.load:.2f}"
+        )
+
+
+def paper_default(**overrides) -> SimulationConfig:
+    """The paper's default configuration (Section 3): 16-ary 2-cube."""
+    return SimulationConfig().replace(**overrides)
+
+
+def bench_default(**overrides) -> SimulationConfig:
+    """Scaled-down configuration used by the benchmark harness.
+
+    An 8-ary 2-cube with 16-flit messages: every structural property the
+    experiments exercise (wraparound rings, even radix, minimal-path
+    multiplicity) is preserved while a load-sweep point runs in seconds
+    rather than hours of pure-Python simulation.
+    """
+    cfg = SimulationConfig(
+        k=8,
+        n=2,
+        message_length=16,
+        warmup_cycles=500,
+        measure_cycles=4_000,
+    )
+    return cfg.replace(**overrides)
+
+
+def tiny_default(**overrides) -> SimulationConfig:
+    """Minimal configuration for unit/integration tests."""
+    cfg = SimulationConfig(
+        k=4,
+        n=2,
+        message_length=8,
+        warmup_cycles=100,
+        measure_cycles=1_000,
+        max_queued_per_node=16,
+    )
+    return cfg.replace(**overrides)

@@ -1,0 +1,132 @@
+"""The paper's worked deadlock examples (Figures 1-4) as CWG fixtures.
+
+Each builder returns a :class:`~repro.core.cwg.ChannelWaitForGraph`
+reproducing the resource state of one of the paper's illustrative figures,
+with the documented characteristics:
+
+========  ===========================  =====  ======  ======  ========
+figure    kind                         knot   dset    rset    density
+========  ===========================  =====  ======  ======  ========
+Figure 1  single-cycle deadlock (DOR)  8 VCs  3 msgs  8 VCs   1
+Figure 2  single-cycle deadlock        4 VCs  4 msgs  8 VCs   1
+          (adaptive, exhausted)
+Figure 3  multi-cycle deadlock         8 VCs  8 msgs  16 VCs  4
+Figure 4  cyclic non-deadlock          none   —       —       cycles>0
+========  ===========================  =====  ======  ======  ========
+
+Figures 1 and 2 follow the paper's channel numbering exactly.  The precise
+arc layout of Figures 3 and 4 did not survive the source scan, so those two
+builders construct states with the *same reported characteristics* (message
+count, resource count, knot size, knot cycle density, fan-out 2) — which is
+what the tests assert.
+"""
+
+from __future__ import annotations
+
+from repro.core.cwg import ChannelWaitForGraph
+
+__all__ = ["figure1_cwg", "figure2_cwg", "figure3_cwg", "figure4_cwg"]
+
+
+def figure1_cwg() -> ChannelWaitForGraph:
+    """Figure 1: a single-cycle deadlock under DOR with one VC.
+
+    Five messages route in dimension order around a torus ring.  Messages
+    m1, m3, m5 are blocked in a cycle; m2 and m4 hold channels but have all
+    resources needed to reach their destinations (no dashed arcs).
+
+    The knot is {c0..c7}; deadlock set {m1, m3, m5}; resource set 8
+    channels; knot cycle density 1.
+    """
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["c1", "c2"])
+    g.add_ownership_chain(3, ["c3", "c4", "c5"])
+    g.add_ownership_chain(5, ["c6", "c7", "c0"])
+    # m2 and m4 are en route but unblocked; their channels are CWG vertices
+    # with no dashed arcs, so they can never join a knot.
+    g.add_ownership_chain(2, ["c8", "c9"])
+    g.add_ownership_chain(4, ["c10"])
+    # DOR returns exactly one channel option: fan-out 1.
+    g.add_request(1, ["c3"])
+    g.add_request(3, ["c6"])
+    g.add_request(5, ["c1"])
+    return g
+
+
+def figure2_cwg() -> ChannelWaitForGraph:
+    """Figure 2: a single-cycle deadlock under minimal adaptive routing.
+
+    Four messages have exhausted their adaptivity (each needs exactly one
+    specific channel, owned by another group member).  Message m6 owns c8,
+    c9 and waits for a channel owned by m3 — it is a *dependent* message,
+    unable to proceed but not part of the knot: removing it cannot resolve
+    the deadlock.
+
+    The knot is {c1, c3, c5, c7}; deadlock set {m1..m4}; resource set 8
+    channels; knot cycle density 1.
+    """
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["c0", "c1"])
+    g.add_ownership_chain(2, ["c2", "c3"])
+    g.add_ownership_chain(3, ["c4", "c5"])
+    g.add_ownership_chain(4, ["c6", "c7"])
+    g.add_request(1, ["c3"])
+    g.add_request(2, ["c5"])
+    g.add_request(3, ["c7"])
+    g.add_request(4, ["c1"])
+    # The dependent message: waits on c4 (owned by deadlock-set member m3).
+    g.add_ownership_chain(6, ["c8", "c9"])
+    g.add_request(6, ["c4"])
+    return g
+
+
+def figure3_cwg() -> ChannelWaitForGraph:
+    """Figure 3: a multi-cycle deadlock (adaptive routing, 2 VCs).
+
+    Eight blocked messages, 16 owned VCs, a knot of 8 vertices and a knot
+    cycle density of 4 — matching the paper's reported characteristics.
+    Messages m0 and m4 retain two routing alternatives (fan-out 2, the
+    multi-VC signature); the rest have exhausted theirs.
+
+    Structure: each message m_i owns the chain u_i -> v_i; the v vertices
+    form a ring v0 -> v1 -> ... -> v7 -> v0 of waits, with extra
+    alternatives v0 -> v4 and v4 -> v0.  The simple cycles inside the knot
+    {v0..v7} are: the full ring, the two chord+half-ring circuits, and the
+    chord 2-cycle — exactly four.
+    """
+    g = ChannelWaitForGraph()
+    for i in range(8):
+        g.add_ownership_chain(i, [f"u{i}", f"v{i}"])
+    for i in range(8):
+        targets = [f"v{(i + 1) % 8}"]
+        if i in (0, 4):
+            targets.append(f"v{(i + 4) % 8}")
+        g.add_request(i, targets)
+    return g
+
+
+def figure4_cwg() -> ChannelWaitForGraph:
+    """Figure 4: a cyclic non-deadlock — cycles exist but no knot.
+
+    The same population as Figure 3 except message m4's destination
+    changed: one of its routing alternatives is now the escape channel e4,
+    owned by message m8 which is *not* blocked (it holds everything it
+    needs, like m2/m4 of Figure 1).  All of Figure 3's wait cycles are
+    still present, but from v4 the escape vertex e4 is reachable while e4
+    reaches nothing back — so no vertex set satisfies the knot condition.
+    Eventually m8 drains and releases e4, m4 proceeds and releases v4, and
+    the whole tangle unwinds: cycles are necessary but not sufficient for
+    deadlock (Duato's observation, confirmed by the paper).
+    """
+    g = ChannelWaitForGraph()
+    for i in range(8):
+        g.add_ownership_chain(i, [f"u{i}", f"v{i}"])
+    g.add_ownership_chain(8, ["e4"])  # the unblocked escape-channel owner
+    for i in range(8):
+        targets = [f"v{(i + 1) % 8}"]
+        if i == 0:
+            targets.append("v4")
+        if i == 4:
+            targets.append("e4")  # m4's second alternative: the escape
+        g.add_request(i, targets)
+    return g

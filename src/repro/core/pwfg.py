@@ -1,0 +1,110 @@
+"""Packet (message) wait-for graphs and the connectivity premise.
+
+Section 2.3 of the paper contrasts its channel-level analysis with the
+message-level **packet wait-for graph** of Dally & Aoki: vertices are
+*messages*, with an arc ``a -> b`` when blocked message ``a`` waits on a
+channel owned by ``b``.  Avoidance schemes that forbid cycles in this graph
+are *overly restrictive*: Figure 4's cyclic non-deadlock has packet
+wait-for cycles yet no deadlock, because a cycle of packet waits does not
+imply that every routing *alternative* is exhausted.
+
+This module derives the PWFG from a CWG, detects its cycles/knots, and
+provides :func:`is_connected_routing` — a checker for the premise under
+which the CWG-knot criterion is exact (the routing relation must supply at
+least one candidate at every non-destination (node, destination) state).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.cwg import ChannelWaitForGraph
+from repro.core.cycles import CycleCount, count_simple_cycles
+from repro.core.knots import find_knots
+from repro.errors import RoutingError
+from repro.network.channels import ChannelPool
+from repro.network.message import Message
+from repro.network.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routing.base import RoutingFunction
+
+__all__ = [
+    "packet_wait_for_graph",
+    "pwfg_cycle_count",
+    "pwfg_knots",
+    "is_connected_routing",
+]
+
+
+def packet_wait_for_graph(cwg: ChannelWaitForGraph) -> dict[int, list[int]]:
+    """The message-level wait-for graph induced by a CWG snapshot.
+
+    An arc ``a -> b`` is added for every resource ``a`` waits on that ``b``
+    currently owns.  Messages owning resources but waiting on nothing (the
+    m2/m4 of Figure 1) appear as arcless vertices.
+    """
+    adj: dict[int, list[int]] = {m: [] for m in cwg.chains}
+    for requester, targets in cwg.requests.items():
+        for t in targets:
+            owner = cwg.owner.get(t)
+            if owner is not None and owner != requester:
+                if owner not in adj[requester]:
+                    adj[requester].append(owner)
+    return adj
+
+
+def pwfg_cycle_count(
+    cwg: ChannelWaitForGraph, limit: int = 10_000
+) -> CycleCount:
+    """Simple cycles of the packet wait-for graph (capped)."""
+    return count_simple_cycles(packet_wait_for_graph(cwg), limit=limit)
+
+
+def pwfg_knots(cwg: ChannelWaitForGraph) -> list[frozenset[int]]:
+    """Knots of the packet wait-for graph.
+
+    Note: a PWFG knot is *still* not equivalent to deadlock in general —
+    the exact criterion lives at channel granularity — but comparing the
+    two graphs' verdicts on the same snapshot quantifies how conservative
+    message-level reasoning is.
+    """
+    return find_knots(packet_wait_for_graph(cwg))
+
+
+def is_connected_routing(
+    routing: "RoutingFunction",
+    topology: Topology,
+    pool: ChannelPool,
+) -> bool:
+    """Verify the connectivity premise of the knot criterion.
+
+    For every ordered (node, destination) pair with ``node != destination``
+    the relation must supply at least one candidate VC whose link makes
+    progress possible (the CWG-knot equivalence assumes blocked messages
+    always have *some* requestable resource).  Routing functions in this
+    package raise :class:`~repro.errors.RoutingError` on empty candidate
+    sets, so this checker doubles as an exhaustive probe of that guard.
+    """
+    probe = Message(0, 0, 1, 2, 0)
+    for src in range(topology.num_nodes):
+        for dest in range(topology.num_nodes):
+            if src == dest:
+                continue
+            probe.src, probe.dest = src, dest
+            # check every node reachable on *some* minimal path
+            frontier = {src}
+            seen = set()
+            while frontier:
+                node = frontier.pop()
+                if node == dest or node in seen:
+                    continue
+                seen.add(node)
+                try:
+                    candidates = routing.candidates(probe, node, topology, pool)
+                except RoutingError:
+                    return False
+                if not candidates:
+                    return False
+                frontier.update(vc.dst for vc in candidates)
+    return True

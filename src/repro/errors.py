@@ -1,0 +1,23 @@
+"""Exception types used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid simulation or experiment configuration was supplied."""
+
+
+class TopologyError(ReproError):
+    """A topology query was malformed (unknown node, no such channel, ...)."""
+
+
+class RoutingError(ReproError):
+    """A routing function produced an invalid or empty candidate set."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the simulation engine was violated."""

@@ -1,0 +1,393 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Four ablation runners, all comparing matched configurations on identical
+workloads (same traffic RNG stream):
+
+* :func:`run_teardown` — instant vs flit-by-flit recovery teardown.  The
+  paper removes victims "flit-by-flit"; instant removal is the common
+  simulator shortcut.  Measures whether the shortcut distorts results.
+* :func:`run_selection` — the paper's straight-through-preferring channel
+  selection vs uniform random selection.
+* :func:`run_detection_interval` — how the paper's 50-cycle detection
+  period trades detection latency against deadlock persistence.
+* :func:`run_timeout_mode` — end-to-end comparison of true (knot)
+  detection+recovery against timeout-heuristic recovery at several
+  thresholds: throughput, recoveries performed, and how many of the
+  heuristic's recoveries were unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult, scaled_config
+from repro.metrics.sweep import SweepResult, run_load_sweep
+from repro.network.simulator import NetworkSimulator
+
+__all__ = [
+    "run_teardown",
+    "run_selection",
+    "run_detection_interval",
+    "run_timeout_mode",
+    "run_message_length",
+    "run_granularity",
+    "run_faults",
+    "run_arbitration",
+]
+
+
+def run_teardown(
+    scale: str = "bench", loads: Sequence[float] = (0.8, 1.2), **overrides
+) -> ExperimentResult:
+    """ABL-REC: instant vs flit-by-flit victim teardown."""
+    base = scaled_config(scale, routing="dor", num_vcs=1, **overrides)
+    sweeps = {}
+    for mode in ("instant", "flit-by-flit"):
+        sweeps[mode] = run_load_sweep(
+            base.replace(recovery_teardown=mode), list(loads), label=mode
+        )
+    obs = {
+        f"{mode}_total_deadlocks": float(sum(s.deadlock_counts))
+        for mode, s in sweeps.items()
+    }
+    for mode, s in sweeps.items():
+        obs[f"{mode}_peak_throughput"] = max(s.throughputs, default=0.0)
+    return ExperimentResult(
+        experiment_id="ABL-REC",
+        description="Recovery teardown: instant vs flit-by-flit removal",
+        sweeps=sweeps,
+        observations=obs,
+        notes=[
+            "flit-by-flit is the paper's literal procedure; instant is the "
+            "usual simulator shortcut — deadlock counts should be close"
+        ],
+    )
+
+
+def run_selection(
+    scale: str = "bench", loads: Sequence[float] = (0.5, 0.9), **overrides
+) -> ExperimentResult:
+    """ABL-SEL: straight-through-first vs random channel selection."""
+    base = scaled_config(scale, routing="tfar", num_vcs=2, **overrides)
+    sweeps = {}
+    for policy in ("straight", "random"):
+        sweeps[policy] = run_load_sweep(
+            base.replace(selection=policy), list(loads), label=policy
+        )
+    obs = {}
+    for policy, s in sweeps.items():
+        obs[f"{policy}_peak_throughput"] = max(s.throughputs, default=0.0)
+        obs[f"{policy}_total_deadlocks"] = float(sum(s.deadlock_counts))
+        obs[f"{policy}_mean_latency"] = sum(
+            r.avg_latency for r in s.results
+        ) / len(s.results)
+    return ExperimentResult(
+        experiment_id="ABL-SEL",
+        description="Channel selection policy: straight-through-first "
+        "(paper default) vs uniform random",
+        sweeps=sweeps,
+        observations=obs,
+    )
+
+
+def run_detection_interval(
+    scale: str = "bench",
+    load: float = 1.0,
+    intervals: Sequence[int] = (10, 50, 200, 1000),
+    **overrides,
+) -> ExperimentResult:
+    """ABL-INT: detection period vs deadlock persistence and throughput."""
+    base = scaled_config(scale, routing="dor", num_vcs=1, load=load, **overrides)
+    sweeps = {}
+    obs = {}
+    for interval in intervals:
+        cfg = base.replace(detection_interval=interval)
+        sim = NetworkSimulator(cfg)
+        result = sim.run()
+        label = f"interval={interval}"
+        sweeps[label] = SweepResult(
+            label=label,
+            loads=[load],
+            results=[result],
+            capacity=sim.topology.capacity_flits_per_node_cycle,
+        )
+        obs[f"i{interval}_deadlocks"] = float(result.deadlocks)
+        obs[f"i{interval}_throughput"] = result.normalized_throughput(
+            sim.topology.capacity_flits_per_node_cycle
+        )
+        obs[f"i{interval}_latency"] = result.avg_latency
+    return ExperimentResult(
+        experiment_id="ABL-INT",
+        description="Deadlock-detection invocation period (paper: every 50 "
+        "cycles) vs recovery responsiveness",
+        sweeps=sweeps,
+        observations=obs,
+        notes=[
+            "long periods leave knots wedged between detections: latency "
+            "rises and fewer (but longer-lived) deadlocks are counted"
+        ],
+    )
+
+
+def run_timeout_mode(
+    scale: str = "bench",
+    load: float = 1.0,
+    thresholds: Sequence[int] = (100, 500, 2000),
+    **overrides,
+) -> ExperimentResult:
+    """ABL-TIMEOUT: true-detection recovery vs timeout-heuristic recovery."""
+    base = scaled_config(scale, routing="dor", num_vcs=1, load=load, **overrides)
+    sweeps = {}
+    obs = {}
+
+    sim = NetworkSimulator(base.replace(detection_mode="knot"))
+    truth = sim.run()
+    cap = sim.topology.capacity_flits_per_node_cycle
+    sweeps["true-detection"] = SweepResult(
+        "true-detection", [load], [truth], capacity=cap
+    )
+    obs["true_throughput"] = truth.normalized_throughput(cap)
+    obs["true_recoveries"] = float(truth.recovered)
+
+    for t in thresholds:
+        cfg = base.replace(detection_mode="timeout", timeout_threshold=t)
+        sim = NetworkSimulator(cfg)
+        result = sim.run()
+        label = f"timeout={t}"
+        sweeps[label] = SweepResult(label, [load], [result], capacity=cap)
+        obs[f"t{t}_throughput"] = result.normalized_throughput(cap)
+        obs[f"t{t}_recoveries"] = float(result.timeout_recoveries)
+        obs[f"t{t}_unnecessary"] = float(result.unnecessary_recoveries)
+        obs[f"t{t}_true_deadlocks_seen"] = float(result.deadlocks)
+    return ExperimentResult(
+        experiment_id="ABL-TIMEOUT",
+        description="End-to-end: knot-based recovery vs timeout-presumed "
+        "deadlock recovery (the schemes the paper critiques)",
+        sweeps=sweeps,
+        observations=obs,
+        notes=[
+            "small thresholds recover many merely-congested messages "
+            "(unnecessary work); large thresholds let true deadlocks wedge "
+            "the network between firings"
+        ],
+    )
+
+
+def run_message_length(
+    scale: str = "bench",
+    load: float = 0.9,
+    lengths: Sequence[int] = (4, 8, 16, 32),
+    **overrides,
+) -> ExperimentResult:
+    """EXT-LEN: deadlock frequency vs message length at fixed buffer depth.
+
+    The paper fixes 32-flit messages; this extension varies length with the
+    2-flit buffers held constant, so longer messages hold proportionally
+    more channels simultaneously — the same mechanism Figure 8 probes from
+    the buffer side.  Load is flit-normalized, so all points offer the
+    same flit rate.
+    """
+    base = scaled_config(scale, routing="dor", num_vcs=1, load=load, **overrides)
+    sweeps = {}
+    obs = {}
+    for length in lengths:
+        cfg = base.replace(message_length=length)
+        sim = NetworkSimulator(cfg)
+        result = sim.run()
+        label = f"len={length}"
+        sweeps[label] = SweepResult(
+            label,
+            [load],
+            [result],
+            capacity=sim.topology.capacity_flits_per_node_cycle,
+        )
+        obs[f"len{length}_norm_deadlocks"] = result.normalized_deadlocks
+        obs[f"len{length}_avg_resource_set"] = result.avg_resource_set_size
+        obs[f"len{length}_blocked_pct"] = 100 * result.avg_blocked_fraction
+    return ExperimentResult(
+        experiment_id="EXT-LEN",
+        description="Message length vs deadlock formation (fixed 2-flit "
+        "buffers; flit-normalized load)",
+        sweeps=sweeps,
+        observations=obs,
+        notes=[
+            "longer worms hold more channels each (resource sets grow with "
+            "length) but fewer worms compete at the same flit rate; the "
+            "message-normalized deadlock rate reflects both forces"
+        ],
+    )
+
+
+def run_granularity(
+    scale: str = "bench",
+    load: float = 1.0,
+    **overrides,
+) -> ExperimentResult:
+    """EXT-GRAN: channel- vs message-granularity deadlock analysis.
+
+    At every detection instant, compares the exact CWG-knot verdict with
+    the verdict of the coarser packet wait-for graph (Dally & Aoki), which
+    some avoidance schemes reason about.  Counts how often message-level
+    analysis sees cycles (or even knots) when no true deadlock exists —
+    quantifying the paper's §2.3 "overly restrictive" remark.
+    """
+    from repro.core.detector import DeadlockDetector
+    from repro.core.knots import find_knots
+    from repro.core.pwfg import packet_wait_for_graph, pwfg_cycle_count
+
+    base = scaled_config(
+        scale, routing="tfar", num_vcs=1, load=load, **overrides
+    )
+    sim = NetworkSimulator(base)
+    detections = 0
+    pwfg_cyclic = 0
+    pwfg_knotted = 0
+    true_deadlocked = 0
+    agreements = 0
+    total = base.warmup_cycles + base.measure_cycles
+    while sim.cycle < total:
+        sim.step()
+        if sim.cycle % base.detection_interval == 0:
+            g = DeadlockDetector.build_cwg(sim)
+            true_knots = find_knots(g.adjacency())
+            p_adj = packet_wait_for_graph(g)
+            p_cycles = pwfg_cycle_count(g, limit=1_000)
+            p_knots = find_knots(p_adj)
+            detections += 1
+            if p_cycles.count:
+                pwfg_cyclic += 1
+            if p_knots:
+                pwfg_knotted += 1
+            if true_knots:
+                true_deadlocked += 1
+            if bool(true_knots) == bool(p_knots):
+                agreements += 1
+    result = sim.stats.finalize(sim)
+    sweep = SweepResult(
+        "TFAR1 granularity probe",
+        [load],
+        [result],
+        capacity=sim.topology.capacity_flits_per_node_cycle,
+    )
+    obs = {
+        "detections": float(detections),
+        "pwfg_cyclic_detections": float(pwfg_cyclic),
+        "pwfg_knotted_detections": float(pwfg_knotted),
+        "true_deadlocked_detections": float(true_deadlocked),
+        "pwfg_false_alarm_detections": float(pwfg_knotted - true_deadlocked)
+        if pwfg_knotted >= true_deadlocked
+        else 0.0,
+        "verdict_agreement_rate": agreements / detections if detections else 1.0,
+    }
+    return ExperimentResult(
+        experiment_id="EXT-GRAN",
+        description="Exact channel-level (CWG knot) vs message-level "
+        "(packet wait-for graph) deadlock verdicts per detection",
+        sweeps={sweep.label: sweep},
+        observations=obs,
+        notes=[
+            "message-level cycles routinely appear without true deadlock: "
+            "forbidding them (as some avoidance schemes do) sacrifices "
+            "routing freedom needlessly"
+        ],
+    )
+
+
+def run_faults(
+    scale: str = "bench",
+    load: float = 0.8,
+    fault_counts: Sequence[int] = (0, 2, 4, 8),
+    **overrides,
+) -> ExperimentResult:
+    """EXT-FAULT: failed links vs deadlock susceptibility (future work §5).
+
+    Removes progressively more physical channels from a torus (chosen by a
+    fixed-seed shuffle, skipping sets that would disconnect the network)
+    and reruns TFAR with one VC at fixed load.  Each removed link deletes
+    routing alternatives along its rings — the Figure 2 exhausted-
+    adaptivity mechanism — so blocking and deadlock susceptibility rise as
+    the topology degrades.
+    """
+    import random as _random
+
+    from repro.errors import TopologyError
+    from repro.network.simulator import build_topology
+
+    base = scaled_config(scale, routing="tfar", num_vcs=1, load=load, **overrides)
+    healthy = build_topology(base.replace(failed_links=()))
+    links = [(l.src, l.dst) for l in healthy.links]
+    _random.Random(17).shuffle(links)
+
+    sweeps = {}
+    obs = {}
+    for count in fault_counts:
+        failed = tuple(links[:count])
+        cfg = base.replace(failed_links=failed)
+        label = f"faults={count}"
+        try:
+            sim = NetworkSimulator(cfg)
+        except TopologyError:
+            obs[f"f{count}_skipped_disconnected"] = 1.0
+            continue
+        result = sim.run()
+        sweeps[label] = SweepResult(
+            label,
+            [load],
+            [result],
+            capacity=sim.topology.capacity_flits_per_node_cycle,
+        )
+        obs[f"f{count}_norm_deadlocks"] = result.normalized_deadlocks
+        obs[f"f{count}_blocked_pct"] = 100 * result.avg_blocked_fraction
+        obs[f"f{count}_latency"] = result.avg_latency
+    return ExperimentResult(
+        experiment_id="EXT-FAULT",
+        description="Irregular topology: failed links exhaust adaptivity "
+        "and raise deadlock susceptibility (TFAR, 1 VC)",
+        sweeps=sweeps,
+        observations=obs,
+        notes=[
+            "each failed link removes minimal-path alternatives: the "
+            "correlated dependencies a knot needs form more easily"
+        ],
+    )
+
+
+def run_arbitration(
+    scale: str = "bench",
+    load: float = 1.0,
+    policies: Sequence[str] = ("random", "oldest-first", "round-robin"),
+    **overrides,
+) -> ExperimentResult:
+    """ABL-ARB: service-order (arbitration) policy vs fairness and deadlock.
+
+    Identical workloads served in random, age-priority, or round-robin
+    order.  Arbitration shapes the starvation tail (max blocked duration)
+    and, by changing which correlated wait patterns persist, can shift
+    deadlock frequency at saturation.
+    """
+    base = scaled_config(scale, routing="dor", num_vcs=1, load=load, **overrides)
+    sweeps = {}
+    obs = {}
+    for policy in policies:
+        cfg = base.replace(arbitration=policy)
+        sim = NetworkSimulator(cfg)
+        result = sim.run()
+        sweeps[policy] = SweepResult(
+            policy,
+            [load],
+            [result],
+            capacity=sim.topology.capacity_flits_per_node_cycle,
+        )
+        obs[f"{policy}_deadlocks"] = float(result.deadlocks)
+        obs[f"{policy}_max_blocked"] = float(result.max_blocked_duration)
+        obs[f"{policy}_max_latency"] = float(result.max_latency)
+        obs[f"{policy}_throughput"] = result.normalized_throughput(
+            sim.topology.capacity_flits_per_node_cycle
+        )
+    return ExperimentResult(
+        experiment_id="ABL-ARB",
+        description="Arbitration (service order): random vs oldest-first "
+        "vs round-robin at saturation",
+        sweeps=sweeps,
+        observations=obs,
+    )

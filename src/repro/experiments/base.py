@@ -1,0 +1,140 @@
+"""Shared infrastructure for the per-figure experiment runners.
+
+Each experiment module reproduces one figure or section of the paper's
+evaluation.  Runners accept a ``scale``:
+
+* ``"paper"`` — the paper's 16-ary 2-cube, 32-flit messages, 30k measured
+  cycles.  Faithful but slow in pure Python (hours per figure).
+* ``"bench"`` — 8-ary 2-cube, 16-flit messages, a few thousand measured
+  cycles.  Preserves every structural property the experiments exercise;
+  each figure regenerates in about a minute.  Used by the benchmark harness.
+* ``"tiny"``  — 4-ary 2-cube for smoke tests.
+
+The output of every runner is an :class:`ExperimentResult` whose
+``format_table`` renders the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.config import SimulationConfig, bench_default, paper_default, tiny_default
+from repro.errors import ConfigurationError
+from repro.metrics.sweep import SweepResult
+
+__all__ = ["scaled_config", "scaled_loads", "ExperimentResult", "format_table"]
+
+
+def scaled_config(scale: str, **overrides) -> SimulationConfig:
+    """Base configuration for the requested scale."""
+    factories = {
+        "paper": paper_default,
+        "bench": bench_default,
+        "tiny": tiny_default,
+    }
+    try:
+        return factories[scale](**overrides)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; choose from {sorted(factories)}"
+        ) from None
+
+
+def scaled_loads(scale: str) -> list[float]:
+    """Load grid per scale: denser for the faithful paper runs."""
+    if scale == "paper":
+        return [round(0.1 * i, 1) for i in range(1, 13)]
+    if scale == "bench":
+        return [0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
+    return [0.3, 0.6, 0.9, 1.2]
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Plain-text table rendering used by every experiment report."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            if v == float("inf"):
+                return "inf"
+            return f"{v:.4f}" if abs(v) < 10 else f"{v:.1f}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in str_rows)) if str_rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [title, "=" * len(title)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in str_rows:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    for note in notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Sweeps plus derived observations for one paper figure/section."""
+
+    experiment_id: str  #: e.g. "FIG5"
+    description: str
+    sweeps: dict[str, SweepResult]
+    #: named scalar observations used by shape assertions and reports
+    observations: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def format_tables(self) -> str:
+        """All series of this experiment as paper-style text tables."""
+        blocks = [f"{self.experiment_id}: {self.description}", ""]
+        for label, sweep in self.sweeps.items():
+            rows = [
+                (
+                    row["load"],
+                    row["throughput"],
+                    row["deadlocks"],
+                    row["norm_deadlocks"],
+                    row["avg_deadlock_set"],
+                    row["avg_resource_set"],
+                    row["avg_knot_density"],
+                    row["avg_cycles"],
+                    row["blocked_pct"],
+                )
+                for row in sweep.rows()
+            ]
+            sat = sweep.saturation_load
+            notes = [f"saturation load ~ {sat}" if sat is not None else "no saturation"]
+            blocks.append(
+                format_table(
+                    f"{self.experiment_id} [{label}]",
+                    (
+                        "load",
+                        "thput",
+                        "dlocks",
+                        "norm_dl",
+                        "dset",
+                        "rset",
+                        "knotcyc",
+                        "cycles",
+                        "blocked%",
+                    ),
+                    rows,
+                    notes,
+                )
+            )
+            blocks.append("")
+        if self.observations:
+            blocks.append("Observations:")
+            for k, v in self.observations.items():
+                blocks.append(f"  {k} = {v:.4g}" if isinstance(v, float) else f"  {k} = {v}")
+        for n in self.notes:
+            blocks.append(f"  note: {n}")
+        return "\n".join(blocks)

@@ -1,0 +1,155 @@
+"""Report rendering: CSV export and ASCII charts for experiment results.
+
+The paper presents its results as x/y figures (load on the x axis).  With
+no plotting dependency available, this module renders the same series as
+ASCII scatter charts and exports machine-readable CSV so the figures can
+be re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Mapping, Sequence
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["sweep_csv", "experiment_csv", "ascii_chart", "render_figure"]
+
+
+def sweep_csv(result: ExperimentResult) -> str:
+    """All sweep rows of an experiment as CSV (one row per series x load)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "experiment",
+            "series",
+            "load",
+            "throughput",
+            "delivered",
+            "deadlocks",
+            "norm_deadlocks",
+            "avg_deadlock_set",
+            "avg_resource_set",
+            "avg_knot_density",
+            "avg_cycles",
+            "blocked_pct",
+            "in_network",
+            "latency",
+        ]
+    )
+    for label, sweep in result.sweeps.items():
+        for row in sweep.rows():
+            writer.writerow(
+                [
+                    result.experiment_id,
+                    label,
+                    row["load"],
+                    f"{row['throughput']:.6f}",
+                    row["delivered"],
+                    row["deadlocks"],
+                    f"{row['norm_deadlocks']:.6f}",
+                    f"{row['avg_deadlock_set']:.3f}",
+                    f"{row['avg_resource_set']:.3f}",
+                    f"{row['avg_knot_density']:.3f}",
+                    f"{row['avg_cycles']:.3f}",
+                    f"{row['blocked_pct']:.3f}",
+                    f"{row['in_network']:.3f}",
+                    f"{row['latency']:.3f}",
+                ]
+            )
+    return buf.getvalue()
+
+
+def experiment_csv(results: Sequence[ExperimentResult]) -> str:
+    """Concatenated CSV for several experiments (shared header)."""
+    parts = [sweep_csv(r) for r in results]
+    header, *_ = parts[0].splitlines()
+    body = []
+    for part in parts:
+        body.extend(part.splitlines()[1:])
+    return "\n".join([header, *body]) + "\n"
+
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) point series as an ASCII scatter chart."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+
+    def ty(y: float) -> float:
+        return math.log10(y + 1e-12) if log_y else y
+
+    xs = [p[0] for p in points]
+    ys = [ty(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (label, pts) in zip(_MARKS, series.items()):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((ty(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{10 ** y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    y_lo_label = f"{10 ** y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    margin = max(len(y_hi_label), len(y_lo_label), len(y_label)) + 1
+    lines.append(f"{y_hi_label:>{margin}} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * margin + " |" + "".join(row))
+    lines.append(f"{y_lo_label:>{margin}} +" + "".join(grid[-1]))
+    lines.append(
+        " " * margin
+        + "  "
+        + f"{x_lo:<.3g}".ljust(width - 8)
+        + f"{x_hi:>.3g}"
+    )
+    lines.append(" " * margin + f"  [{x_label}]" + ("  (log y)" if log_y else ""))
+    legend = "   ".join(
+        f"{mark}={label}" for mark, label in zip(_MARKS, series.keys())
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_figure(
+    result: ExperimentResult,
+    metric: str = "norm_deadlocks",
+    *,
+    log_y: bool = False,
+) -> str:
+    """One paper-style figure: ``metric`` vs load for every series.
+
+    ``metric`` is any key of :meth:`SweepResult.rows` rows, e.g.
+    ``norm_deadlocks``, ``avg_cycles``, ``blocked_pct``, ``throughput``.
+    """
+    series = {}
+    for label, sweep in result.sweeps.items():
+        series[label] = [(row["load"], row[metric]) for row in sweep.rows()]
+    return ascii_chart(
+        series,
+        title=f"{result.experiment_id}: {metric} vs normalized load",
+        x_label="normalized load",
+        y_label=metric,
+        log_y=log_y,
+    )

@@ -1,0 +1,73 @@
+"""Section 3.6 — effect of non-uniform traffic on deadlocks.
+
+The paper reports that bit-reversal, matrix-transpose, perfect-shuffle and
+hot-spot traffic give deadlock frequencies and characteristics similar to
+uniform traffic (mostly within 10%), with one structural exception:
+single-cycle deadlocks under DOR require a *circular overlap* of messages
+within a row or column ring, and some permutations make that overlap
+impossible, suppressing DOR deadlocks entirely.
+
+The runner measures both routing subjects under every pattern at a fixed
+set of loads and reports normalized deadlock frequency plus the deadlock
+characteristics, so the "similar to uniform" claim and the DOR exception
+can both be checked.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult, scaled_config, scaled_loads
+from repro.metrics.sweep import run_load_sweep
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "SEC3.6"
+DESCRIPTION = (
+    "Deadlock frequency and characteristics under non-uniform traffic "
+    "patterns, relative to uniform"
+)
+
+PATTERNS = ("uniform", "bit-reversal", "transpose", "perfect-shuffle", "hot-spot")
+
+
+def run(
+    scale: str = "bench",
+    loads: Sequence[float] | None = None,
+    routing: str = "dor",
+    patterns: Sequence[str] = PATTERNS,
+    **overrides,
+) -> ExperimentResult:
+    loads = list(loads) if loads is not None else scaled_loads(scale)
+    base = scaled_config(scale, routing=routing, num_vcs=1, **overrides)
+
+    sweeps = {}
+    for pattern in patterns:
+        cfg = base.replace(traffic=pattern)
+        sweeps[pattern] = run_load_sweep(cfg, loads, label=pattern)
+
+    uniform_total = sum(sweeps["uniform"].deadlock_counts) if "uniform" in sweeps else 0
+    obs: dict[str, float] = {"uniform_total_deadlocks": float(uniform_total)}
+    for pattern in patterns:
+        if pattern == "uniform":
+            continue
+        total = sum(sweeps[pattern].deadlock_counts)
+        obs[f"{pattern}_total_deadlocks"] = float(total)
+        obs[f"{pattern}_vs_uniform_ratio"] = (
+            total / uniform_total if uniform_total else float("nan")
+        )
+    notes = [
+        "permutations that preclude circular overlap suppress DOR "
+        "single-cycle deadlocks (the paper's noted exception)"
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        description=DESCRIPTION,
+        sweeps=sweeps,
+        observations=obs,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run().format_tables())

@@ -1,0 +1,36 @@
+"""Statistics, run results, load sweeps, parallel execution, replication."""
+
+from repro.metrics.analysis import (
+    DeadlockAnalysis,
+    analyze_records,
+    blocked_vs_cycles_series,
+    deadlock_probability_given_cycles,
+    interarrival_times,
+)
+from repro.metrics.parallel import (
+    run_load_sweep_parallel,
+    run_matrix_parallel,
+    run_point,
+)
+from repro.metrics.replication import MetricEstimate, ReplicatedResult, replicate
+from repro.metrics.stats import RunResult, StatsCollector
+from repro.metrics.sweep import SweepResult, default_loads, run_load_sweep
+
+__all__ = [
+    "RunResult",
+    "StatsCollector",
+    "SweepResult",
+    "default_loads",
+    "run_load_sweep",
+    "run_load_sweep_parallel",
+    "run_matrix_parallel",
+    "run_point",
+    "MetricEstimate",
+    "ReplicatedResult",
+    "replicate",
+    "DeadlockAnalysis",
+    "analyze_records",
+    "interarrival_times",
+    "deadlock_probability_given_cycles",
+    "blocked_vs_cycles_series",
+]

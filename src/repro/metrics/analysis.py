@@ -1,0 +1,157 @@
+"""Post-hoc analysis of detection records.
+
+The paper's argument rests on relationships the raw counters only hint at:
+how blocked messages and routing fan-out govern cycle formation, how
+cycles relate to knots, how long deadlocks persist, and how often the
+same messages are re-victimized.  This module computes those secondary
+statistics from a completed simulation's
+:class:`~repro.core.detector.DetectionRecord` stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.detector import DetectionRecord
+
+__all__ = [
+    "DeadlockAnalysis",
+    "analyze_records",
+    "interarrival_times",
+    "deadlock_probability_given_cycles",
+    "blocked_vs_cycles_series",
+]
+
+
+@dataclass(frozen=True)
+class DeadlockAnalysis:
+    """Aggregate secondary statistics over a run's detection records."""
+
+    detections: int
+    detections_with_deadlock: int
+    total_deadlocks: int
+    mean_interarrival: float  #: cycles between consecutive deadlock events
+    median_interarrival: float
+    mean_deadlock_set: float
+    mean_resource_set: float
+    mean_knot_density: float
+    max_knot_density: int
+    single_cycle_fraction: float
+    mean_dependents_per_deadlock: float
+    #: Pearson correlation between blocked-message count and cycle count
+    blocked_cycle_correlation: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.total_deadlocks} deadlocks over {self.detections} "
+            f"detections ({self.detections_with_deadlock} positive); "
+            f"interarrival mean={self.mean_interarrival:.0f} cycles; "
+            f"sets {self.mean_deadlock_set:.1f} msgs / "
+            f"{self.mean_resource_set:.1f} VCs; "
+            f"density mean={self.mean_knot_density:.1f} "
+            f"max={self.max_knot_density}; "
+            f"{100 * self.single_cycle_fraction:.0f}% single-cycle; "
+            f"blocked~cycles r={self.blocked_cycle_correlation:.2f}"
+        )
+
+
+def interarrival_times(records: Sequence["DetectionRecord"]) -> list[int]:
+    """Cycles between consecutive detections that found a deadlock."""
+    hits = [r.cycle for r in records if r.events]
+    return [b - a for a, b in zip(hits, hits[1:])]
+
+
+def _mean(xs) -> float:
+    xs = list(xs)
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def _median(xs) -> float:
+    xs = sorted(xs)
+    if not xs:
+        return 0.0
+    mid = len(xs) // 2
+    if len(xs) % 2:
+        return float(xs[mid])
+    return (xs[mid - 1] + xs[mid]) / 2
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mx, my = _mean(xs), _mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)
+
+
+def analyze_records(records: Sequence["DetectionRecord"]) -> DeadlockAnalysis:
+    """Compute the full secondary-statistics bundle."""
+    events = [e for r in records for e in r.events]
+    inter = interarrival_times(records)
+    blocked = [float(r.blocked_messages) for r in records]
+    cycles = [
+        float(r.cycle_count.count) for r in records if r.cycle_count is not None
+    ]
+    # correlation only over records that have both measurements
+    paired = [
+        (float(r.blocked_messages), float(r.cycle_count.count))
+        for r in records
+        if r.cycle_count is not None
+    ]
+    corr = _pearson([p[0] for p in paired], [p[1] for p in paired])
+
+    singles = sum(1 for e in events if e.knot_cycle_density <= 1)
+    return DeadlockAnalysis(
+        detections=len(records),
+        detections_with_deadlock=sum(1 for r in records if r.events),
+        total_deadlocks=len(events),
+        mean_interarrival=_mean(inter),
+        median_interarrival=_median(inter),
+        mean_deadlock_set=_mean(e.deadlock_set_size for e in events),
+        mean_resource_set=_mean(e.resource_set_size for e in events),
+        mean_knot_density=_mean(e.knot_cycle_density for e in events),
+        max_knot_density=max((e.knot_cycle_density for e in events), default=0),
+        single_cycle_fraction=singles / len(events) if events else 0.0,
+        mean_dependents_per_deadlock=_mean(len(e.dependent) for e in events),
+        blocked_cycle_correlation=corr,
+    )
+
+
+def deadlock_probability_given_cycles(
+    records: Sequence["DetectionRecord"], thresholds: Sequence[int] = (1, 5, 20, 100)
+) -> dict[int, float]:
+    """P(deadlock at a detection | cycle count >= threshold).
+
+    Quantifies the paper's point that cycles are necessary but far from
+    sufficient: even with many cycles present, knots may be rare.
+    """
+    out = {}
+    for t in thresholds:
+        eligible = [
+            r for r in records
+            if r.cycle_count is not None and r.cycle_count.count >= t
+        ]
+        if eligible:
+            out[t] = sum(1 for r in eligible if r.events) / len(eligible)
+        else:
+            out[t] = float("nan")
+    return out
+
+
+def blocked_vs_cycles_series(
+    records: Sequence["DetectionRecord"],
+) -> list[tuple[int, int]]:
+    """(blocked messages, cycle count) per detection — the Figure 7b axes."""
+    return [
+        (r.blocked_messages, r.cycle_count.count)
+        for r in records
+        if r.cycle_count is not None
+    ]

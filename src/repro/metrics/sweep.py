@@ -1,0 +1,137 @@
+"""Load sweeps and saturation detection.
+
+Every figure in the paper is a sweep of normalized offered load.  The
+sweep harness runs one simulation per load point, collects the
+:class:`~repro.metrics.stats.RunResult` series, and estimates the
+*saturation load* — the offered load beyond which delivered throughput
+stops tracking the offered load (shown as a vertical dashed line in the
+paper's figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.metrics.stats import RunResult
+
+__all__ = ["SweepResult", "run_load_sweep", "default_loads"]
+
+
+def default_loads(*, dense: bool = False) -> list[float]:
+    """The load grid used by the experiment runners.
+
+    Spans from light load well into deep saturation, like the paper's
+    figures, which are plotted "up to full network capacity or until the
+    network saturates with respect to the number of resource dependency
+    cycles".
+    """
+    if dense:
+        return [round(0.05 * i, 2) for i in range(1, 21)]
+    return [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+@dataclass
+class SweepResult:
+    """Results of a load sweep for one configuration family."""
+
+    label: str
+    loads: list[float]
+    results: list[RunResult]
+    capacity: float
+
+    @property
+    def normalized_deadlocks(self) -> list[float]:
+        return [r.normalized_deadlocks for r in self.results]
+
+    @property
+    def deadlock_counts(self) -> list[int]:
+        return [r.deadlocks for r in self.results]
+
+    @property
+    def deadlock_set_sizes(self) -> list[float]:
+        return [r.avg_deadlock_set_size for r in self.results]
+
+    @property
+    def resource_set_sizes(self) -> list[float]:
+        return [r.avg_resource_set_size for r in self.results]
+
+    @property
+    def cycle_counts(self) -> list[float]:
+        return [r.avg_cycle_count for r in self.results]
+
+    @property
+    def blocked_fractions(self) -> list[float]:
+        return [r.avg_blocked_fraction for r in self.results]
+
+    @property
+    def throughputs(self) -> list[float]:
+        return [r.normalized_throughput(self.capacity) for r in self.results]
+
+    @property
+    def saturation_load(self) -> Optional[float]:
+        """First load at which delivered throughput falls visibly short.
+
+        Estimated as the first load point whose normalized accepted
+        throughput is below 92% of the offered load; ``None`` when the
+        network keeps up across the whole sweep.
+        """
+        for load, thr in zip(self.loads, self.throughputs):
+            if load > 0 and thr < 0.92 * load:
+                return load
+        return None
+
+    def at_load(self, load: float) -> RunResult:
+        idx = self.loads.index(load)
+        return self.results[idx]
+
+    def rows(self) -> list[dict]:
+        """Table rows for report printing (one dict per load point)."""
+        out = []
+        for load, r in zip(self.loads, self.results):
+            out.append(
+                {
+                    "load": load,
+                    "throughput": r.normalized_throughput(self.capacity),
+                    "delivered": r.delivered_total,
+                    "deadlocks": r.deadlocks,
+                    "norm_deadlocks": r.normalized_deadlocks,
+                    "avg_deadlock_set": r.avg_deadlock_set_size,
+                    "avg_resource_set": r.avg_resource_set_size,
+                    "avg_knot_density": r.avg_knot_cycle_density,
+                    "avg_cycles": r.avg_cycle_count,
+                    "blocked_pct": 100 * r.avg_blocked_fraction,
+                    "in_network": r.avg_messages_in_network,
+                    "latency": r.avg_latency,
+                }
+            )
+        return out
+
+
+def run_load_sweep(
+    base: SimulationConfig,
+    loads: Sequence[float],
+    label: str = "",
+    *,
+    progress: Callable[[float, RunResult], None] | None = None,
+) -> SweepResult:
+    """Run ``base`` at each load and collect the results.
+
+    The import lives inside the function to avoid a circular import with
+    the simulator module, which imports :mod:`repro.metrics.stats`.
+    """
+    from repro.network.simulator import NetworkSimulator, build_topology
+
+    capacity = build_topology(base).capacity_flits_per_node_cycle
+    results: list[RunResult] = []
+    for load in loads:
+        sim = NetworkSimulator(base.replace(load=load))
+        result = sim.run()
+        results.append(result)
+        if progress is not None:
+            progress(load, result)
+    return SweepResult(
+        label=label or base.label(), loads=list(loads), results=results,
+        capacity=capacity,
+    )

@@ -1,0 +1,27 @@
+"""Network substrate: topology, channels, messages, and the flit engine."""
+
+from repro.network.channels import ChannelPool, ReceptionChannel, VirtualChannel
+from repro.network.message import Message, MessageStatus
+from repro.network.simulator import NetworkSimulator, build_topology
+from repro.network.topology import (
+    IrregularTorus,
+    KAryNCube,
+    Mesh,
+    PhysicalLink,
+    Topology,
+)
+
+__all__ = [
+    "Topology",
+    "KAryNCube",
+    "Mesh",
+    "IrregularTorus",
+    "PhysicalLink",
+    "ChannelPool",
+    "VirtualChannel",
+    "ReceptionChannel",
+    "Message",
+    "MessageStatus",
+    "NetworkSimulator",
+    "build_topology",
+]

@@ -1,0 +1,478 @@
+"""The flit-level network simulation engine (the paper's "FlexSim").
+
+A cycle-driven wormhole / virtual cut-through simulator.  Each cycle has
+four phases:
+
+1. **Generation** — Bernoulli message sources enqueue new messages.
+2. **Allocation** — headers ready to route request an output VC from their
+   routing function; a selection policy picks among the free candidates.
+   Headers that arrived at their destination request the reception channel.
+   Requests are served in randomized order for fairness.
+3. **Movement** — flits advance one hop.  Every physical link carries at
+   most one flit per cycle (VC multiplexing); every reception channel
+   consumes at most one flit per cycle.  Within a message, boundaries are
+   processed head-to-tail so a worm advances in lockstep.  Tails release
+   VCs as they drain past.
+4. **Detection** — every ``detection_interval`` cycles the deadlock detector
+   snapshots the CWG, finds knots, and the recovery policy removes victims.
+
+The engine enforces exclusive VC ownership and flit conservation; with
+``check_invariants`` enabled these are asserted every cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.config import SimulationConfig
+from repro.core.detector import DeadlockDetector, DeadlockEvent, DetectionRecord
+from repro.core.incremental import IncrementalCWG
+from repro.core.recovery import RecoveryPolicy, make_recovery
+from repro.errors import SimulationError
+from repro.metrics.stats import RunResult, StatsCollector
+from repro.network.channels import ChannelPool, VirtualChannel
+from repro.network.message import Message, MessageStatus
+from repro.network.topology import IrregularTorus, KAryNCube, Mesh, Topology
+from repro.routing import make_routing, make_selection
+from repro.traffic import LengthMix, MessageGenerator, make_pattern
+
+__all__ = ["NetworkSimulator", "build_topology"]
+
+
+def build_topology(config: SimulationConfig) -> Topology:
+    """Construct the topology a configuration describes."""
+    if config.mesh:
+        return Mesh(config.k, config.n)
+    if config.failed_links:
+        return IrregularTorus(config.k, config.n, config.failed_links)
+    return KAryNCube(config.k, config.n, bidirectional=config.bidirectional)
+
+
+class NetworkSimulator:
+    """One network instance plus its workload, detector and recovery.
+
+    ``trace`` substitutes a :class:`~repro.traffic.trace.TraceGenerator`
+    replaying the given trace for the default Bernoulli source (the
+    paper's "program-driven simulation" extension); ``config.load`` and
+    ``config.traffic`` are then ignored.
+    """
+
+    def __init__(self, config: SimulationConfig, trace=None) -> None:
+        config.validate()
+        self.config = config
+        self.topology = build_topology(config)
+        self.pool = ChannelPool(
+            self.topology,
+            config.num_vcs,
+            config.buffer_depth,
+            rx_channels=config.rx_channels,
+        )
+        self.routing = make_routing(config.routing)
+        self.routing.validate(self.topology, self.pool)
+        self.selection = make_selection(config.selection)
+        self.recovery: RecoveryPolicy = make_recovery(config.recovery)
+        self.rng = random.Random(config.seed)
+        # Traffic uses an independent stream so two simulations that differ
+        # only in routing/recovery see the *same* offered workload.
+        traffic_rng = random.Random(config.seed + 0x5EED)
+        pattern_kwargs = {}
+        if config.traffic == "hot-spot":
+            pattern_kwargs["fraction"] = config.hotspot_fraction
+        elif config.traffic == "hybrid":
+            pattern_kwargs["components"] = list(config.traffic_mix)
+        if trace is not None:
+            from repro.traffic.trace import TraceGenerator
+
+            self.pattern = None
+            self.generator = TraceGenerator(self.topology, trace)
+        else:
+            self.pattern = make_pattern(
+                config.traffic, self.topology, **pattern_kwargs
+            )
+            lengths = LengthMix(config.length_mix) if config.length_mix else None
+            self.generator = MessageGenerator(
+                self.topology,
+                self.pattern,
+                config.load,
+                config.message_length,
+                traffic_rng,
+                config.max_queued_per_node,
+                lengths=lengths,
+            )
+        self.detector = DeadlockDetector(
+            count_cycles=config.count_cycles,
+            max_cycles_counted=config.max_cycles_counted,
+            record_blocked_durations=config.record_blocked_durations,
+        )
+        self.stats = StatsCollector(config, self.topology)
+        self.tracker = (
+            IncrementalCWG() if config.cwg_maintenance == "incremental" else None
+        )
+
+        self.cycle = 0
+        self.queues: list[deque[Message]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+        self.active: dict[int, Message] = {}
+        self._live: dict[int, Message] = {}  # queued + active, by id
+        self._link_used = bytearray(self.topology.num_links)
+        self._rr_offset = 0  # rotating start for round-robin arbitration
+        self._candidate_cache: dict = {}
+
+    # -- queries used by the detector and tests -----------------------------------
+    def active_messages(self) -> Iterable[Message]:
+        return self.active.values()
+
+    def message_by_id(self, message_id: int) -> Message:
+        return self._live[message_id]
+
+    def cwg_snapshot(self):
+        """The current channel wait-for graph.
+
+        With incremental maintenance this is an O(state) materialization of
+        the event-maintained graph; otherwise it is rebuilt from scratch by
+        :meth:`DeadlockDetector.build_cwg`.
+        """
+        if self.tracker is not None:
+            return self.tracker.snapshot()
+        return DeadlockDetector.build_cwg(self)
+
+    def route_candidates(self, message: Message) -> list[VirtualChannel]:
+        """The routing relation's candidate VCs for a message's next hop.
+
+        Memoized by the relation's :meth:`cache_key`: a blocked header
+        requests the same set every cycle, and the candidate set is a pure
+        function of position for every built-in relation (the profile
+        showed candidate recomputation dominating saturated runs).
+        """
+        node = message.head_node
+        key = self.routing.cache_key(message, node)
+        if key is None:
+            return self.routing.candidates(message, node, self.topology, self.pool)
+        cached = self._candidate_cache.get(key)
+        if cached is None:
+            cached = self.routing.candidates(
+                message, node, self.topology, self.pool
+            )
+            self._candidate_cache[key] = cached
+        return cached
+
+    @property
+    def messages_in_network(self) -> int:
+        return len(self.active)
+
+    @property
+    def flits_in_network(self) -> int:
+        return sum(m.flits_in_network for m in self.active.values())
+
+    def routing_eligible(self, message: Message) -> bool:
+        """Header ready to request its next resource (pipeline delay served).
+
+        With ``router_delay`` > 0 a header that just arrived at a node is
+        still in the router pipeline (route computation / VC allocation
+        stages) and neither requests resources nor counts as blocked.
+        """
+        if not (message.needs_next_vc or message.needs_reception):
+            return False
+        if not message.header_in_newest_vc and message.vcs:
+            return False
+        delay = self.config.router_delay
+        if delay and message.vcs:
+            arrived = message.head_arrival
+            if arrived is None or self.cycle - arrived < delay:
+                return False
+        return True
+
+    def blocked_messages(self) -> list[Message]:
+        """Active messages whose header is blocked awaiting a resource."""
+        out = []
+        for m in self.active.values():
+            if not m.vcs or not self.routing_eligible(m):
+                continue
+            if m.needs_next_vc:
+                out.append(m)
+            elif m.needs_reception and self.pool.free_reception(m.dest) is None:
+                out.append(m)
+        return out
+
+    def _service_order(self, messages: list[Message]) -> list[Message]:
+        """Order in which competing messages are served this cycle.
+
+        ``random`` (default) draws a fresh permutation per cycle — fair in
+        expectation.  ``oldest-first`` gives strict age priority (smallest
+        id first), which bounds starvation but can convoy.  ``round-robin``
+        rotates the starting message each cycle.
+        """
+        policy = self.config.arbitration
+        if policy == "oldest-first":
+            return sorted(messages, key=lambda m: m.id)
+        if policy == "round-robin":
+            if not messages:
+                return messages
+            ordered = sorted(messages, key=lambda m: m.id)
+            self._rr_offset = (self._rr_offset + 1) % len(ordered)
+            return ordered[self._rr_offset:] + ordered[: self._rr_offset]
+        self.rng.shuffle(messages)
+        return messages
+
+    # -- the four phases -------------------------------------------------------------
+    def _phase_generate(self) -> None:
+        qlens = [len(q) for q in self.queues]
+        for msg in self.generator.tick(self.cycle, qlens):
+            self.queues[msg.src].append(msg)
+            self._live[msg.id] = msg
+            self.stats.on_generated(self.cycle)
+
+    def _phase_allocate(self) -> None:
+        requests: list[Message] = []
+        for q in self.queues:
+            # Let the next queued message start once its predecessor has
+            # fully left the source (one injection channel per node).
+            while q and (q[0].is_done or q[0].at_source == 0):
+                done = q.popleft()
+                if done.is_done:
+                    self._live.pop(done.id, None)
+            if q and q[0].status is MessageStatus.QUEUED:
+                requests.append(q[0])
+        for m in self.active.values():
+            if self.routing_eligible(m):
+                requests.append(m)
+        requests = self._service_order(requests)
+        tracker = self.tracker
+        for msg in requests:
+            if msg.needs_reception:
+                rx = self.pool.free_reception(msg.dest)
+                if rx is not None:
+                    msg.acquire_reception(rx)
+                    if tracker is not None:
+                        tracker.on_acquire(msg.id, ("rx", msg.dest, rx.index))
+                else:
+                    if msg.blocked_since is None:
+                        msg.blocked_since = self.cycle
+                    if tracker is not None:
+                        tracker.on_block(
+                            msg.id,
+                            [
+                                ("rx", msg.dest, i)
+                                for i in range(self.pool.rx_channels)
+                            ],
+                        )
+                continue
+            candidates = self.route_candidates(msg)
+            free = [vc for vc in candidates if vc.is_free]
+            choice = self.selection.choose(msg, free, self.rng)
+            if choice is not None:
+                was_queued = msg.status is MessageStatus.QUEUED
+                msg.acquire_vc(choice, self.cycle)
+                if tracker is not None:
+                    tracker.on_acquire(msg.id, choice.index)
+                if was_queued:
+                    self.active[msg.id] = msg
+                    self.stats.on_injected(self.cycle)
+            elif msg.vcs:
+                if msg.blocked_since is None:
+                    msg.blocked_since = self.cycle
+                if tracker is not None:
+                    tracker.on_block(msg.id, [vc.index for vc in candidates])
+
+    def _phase_move(self) -> None:
+        link_used = self._link_used
+        for i in range(len(link_used)):
+            link_used[i] = 0
+        order = self._service_order(list(self.active.values()))
+        finished: list[Message] = []
+        torn_down: list[Message] = []
+        for msg in order:
+            vcs = msg.vcs
+            if msg.recovering:
+                msg.teardown_step()  # one flit into the recovery lane
+            elif msg.is_draining and vcs and vcs[-1].occupancy > 0:
+                vcs[-1].occupancy -= 1
+                msg.ejected += 1
+            # Head-to-tail boundary pass: each flit advances at most one hop.
+            for i in range(len(vcs) - 1, -1, -1):
+                dst = vcs[i]
+                if dst.occupancy >= dst.capacity:
+                    continue
+                li = dst.link.index
+                if link_used[li]:
+                    continue
+                if i > 0:
+                    src = vcs[i - 1]
+                    if src.occupancy == 0:
+                        continue
+                    src.occupancy -= 1
+                else:
+                    if msg.at_source == 0:
+                        continue
+                    msg.at_source -= 1
+                dst.occupancy += 1
+                link_used[li] = 1
+                if i == len(vcs) - 1 and msg.head_arrival is None:
+                    msg.head_arrival = self.cycle  # header reached a new node
+            released = msg.release_drained_tail()
+            if self.tracker is not None:
+                for vc in released:
+                    self.tracker.on_release(msg.id, vc.index)
+            if msg.recovering:
+                if msg.teardown_complete and not msg.vcs:
+                    torn_down.append(msg)
+            elif msg.ejected == msg.length and msg.is_draining:
+                finished.append(msg)
+        for msg in finished:
+            msg.finish_delivery(self.cycle)
+            self.active.pop(msg.id)
+            self._live.pop(msg.id, None)
+            if self.tracker is not None:
+                self.tracker.on_done(msg.id)
+            self.stats.on_delivered(msg, self.cycle)
+        for msg in torn_down:
+            msg.remove_from_network(
+                self.cycle, delivered=self.recovery.delivers_victim
+            )
+            self.active.pop(msg.id)
+            self._live.pop(msg.id, None)
+            if self.tracker is not None:
+                self.tracker.on_done(msg.id)
+            self.stats.on_recovered(msg, self.cycle)
+
+    def _phase_detect(self) -> Optional[DetectionRecord]:
+        if self.cycle % self.config.detection_interval != 0:
+            return None
+        # True (knot) detection always runs: in timeout mode it provides the
+        # ground truth against which the heuristic's recoveries are judged.
+        record = self.detector.detect(self)
+        if self.config.detection_mode == "timeout":
+            self._recover_by_timeout(record)
+        else:
+            for event in record.events:
+                self._recover(event)
+        self.stats.on_detection(record, self)
+        return record
+
+    def _recover(self, event: DeadlockEvent) -> None:
+        members = [self._live[mid] for mid in sorted(event.deadlock_set)]
+        for msg in members:
+            msg.deadlock_count += 1
+        victims = self.recovery.victims(members, self.rng)
+        for victim in victims:
+            self._remove_victim(victim)
+
+    def _recover_by_timeout(self, record: DetectionRecord) -> None:
+        """Heuristic recovery: presume the longest-blocked message deadlocked.
+
+        Models timeout-based recovery schemes (Disha's presumed deadlock,
+        compressionless routing): one victim per detection — the message
+        blocked beyond ``timeout_threshold`` the longest — is recovered
+        regardless of whether a knot actually exists.  The true detector's
+        concurrent record lets the statistics count how many of these
+        recoveries were unnecessary (victim not in any real deadlock set).
+        """
+        for event in record.events:
+            for mid in event.deadlock_set:
+                self._live[mid].deadlock_count += 1
+        threshold = self.config.timeout_threshold
+        candidates = [
+            m
+            for m in self.blocked_messages()
+            if m.blocked_since is not None
+            and self.cycle - m.blocked_since >= threshold
+        ]
+        if not candidates:
+            return
+        victim = min(candidates, key=lambda m: (m.blocked_since, m.id))
+        truly_deadlocked = set()
+        for event in record.events:
+            truly_deadlocked |= event.deadlock_set
+        self.stats.on_timeout_recovery(
+            self.cycle, necessary=victim.id in truly_deadlocked
+        )
+        self._remove_victim(victim)
+
+    def _remove_victim(self, victim: Message) -> None:
+        if self.config.recovery_teardown == "flit-by-flit":
+            victim.begin_teardown()
+            if self.tracker is not None:
+                # a draining victim no longer requests anything; its owned
+                # channels release progressively via the movement phase
+                self.tracker.on_unblock(victim.id)
+            # completion (and stats) happen in the movement phase as the
+            # message drains through the recovery lane
+            return
+        victim.remove_from_network(
+            self.cycle, delivered=self.recovery.delivers_victim
+        )
+        self.active.pop(victim.id)
+        self._live.pop(victim.id, None)
+        if self.tracker is not None:
+            self.tracker.on_done(victim.id)
+        self.stats.on_recovered(victim, self.cycle)
+
+    # -- driving ------------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        self.cycle += 1
+        self._phase_generate()
+        self._phase_allocate()
+        self._phase_move()
+        self._phase_detect()
+        if self.config.check_invariants:
+            self.check_invariants()
+
+    def run(self, progress_every: int = 0) -> RunResult:
+        """Run warmup + measurement and return the collected results."""
+        cfg = self.config
+        total = cfg.warmup_cycles + cfg.measure_cycles
+        self.stats.measure_start = cfg.warmup_cycles
+        while self.cycle < total:
+            self.step()
+            if progress_every and self.cycle % progress_every == 0:
+                print(
+                    f"  cycle {self.cycle}/{total}: "
+                    f"{self.messages_in_network} msgs in flight, "
+                    f"{len(self.detector.events)} deadlocks"
+                )
+        return self.stats.finalize(self)
+
+    def run_to_drain(self, max_cycles: int = 100_000) -> RunResult:
+        """Run until every generated message has completed (trace replay).
+
+        Stops early at ``max_cycles`` — e.g. when an unrecovered deadlock
+        wedges part of the trace permanently.
+        """
+        self.stats.measure_start = 0
+        while self.cycle < max_cycles:
+            self.step()
+            if (
+                getattr(self.generator, "exhausted", False)
+                and not self.active
+                and all(not q for q in self.queues)
+            ):
+                break
+        return self.stats.finalize(self)
+
+    # -- invariants ------------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Conservation and exclusivity checks (expensive; for tests/debug)."""
+        self.pool.assert_consistent()
+        owners: dict[int, int] = {}
+        for msg in self.active.values():
+            msg.check_conservation()
+            for vc in msg.vcs:
+                if vc.owner != msg.id:
+                    raise SimulationError(
+                        f"message {msg.id} lists VC {vc.index} it does not own"
+                    )
+                if vc.index in owners:
+                    raise SimulationError(
+                        f"VC {vc.index} claimed by messages "
+                        f"{owners[vc.index]} and {msg.id}"
+                    )
+                owners[vc.index] = msg.id
+        for vc in self.pool.vcs:
+            if vc.owner is not None and vc.owner not in self.active:
+                raise SimulationError(
+                    f"VC {vc.index} owned by non-active message {vc.owner}"
+                )

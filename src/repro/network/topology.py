@@ -1,0 +1,433 @@
+"""Network topologies: k-ary n-cube tori (uni/bidirectional) and meshes.
+
+The paper studies wormhole and virtual cut-through k-ary n-cube networks:
+a 16-ary 2-cube torus (256 nodes) by default, a 4-ary 4-cube for the node
+degree experiment, and both uni- and bidirectional variants for the physical
+links experiment.  This module provides the static structure only — nodes,
+physical channels, coordinates and distance geometry.  Dynamic channel state
+(virtual channels, buffers, ownership) lives in :mod:`repro.network.channels`.
+
+A *physical channel* is a unidirectional link ``src -> dst``.  A
+"bidirectional" network simply has a physical channel in each direction
+between adjacent nodes, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Sequence
+
+from repro.errors import TopologyError
+
+__all__ = [
+    "PhysicalLink",
+    "Topology",
+    "KAryNCube",
+    "Mesh",
+    "IrregularTorus",
+]
+
+
+@dataclass(frozen=True)
+class PhysicalLink:
+    """A unidirectional physical channel between two adjacent routers.
+
+    Attributes
+    ----------
+    index:
+        Dense integer id, unique within a topology.
+    src, dst:
+        Node ids of the upstream and downstream routers.
+    dim:
+        The dimension this link travels in (``-1`` for non-grid links).
+    direction:
+        ``+1`` or ``-1`` within ``dim`` (``0`` for non-grid links).
+    """
+
+    index: int
+    src: int
+    dst: int
+    dim: int
+    direction: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = {1: "+", -1: "-", 0: "?"}[self.direction]
+        return f"Link#{self.index}({self.src}->{self.dst}, d{self.dim}{arrow})"
+
+
+class Topology:
+    """Base class for static network structure.
+
+    Subclasses populate :attr:`links` and implement coordinate geometry.
+    """
+
+    num_nodes: int
+    links: list[PhysicalLink]
+
+    def __init__(self) -> None:
+        self.links = []
+        self._out: dict[int, list[PhysicalLink]] = {}
+        self._in: dict[int, list[PhysicalLink]] = {}
+        self._by_pair: dict[tuple[int, int], PhysicalLink] = {}
+
+    # -- construction helpers -------------------------------------------------
+    def _add_link(self, src: int, dst: int, dim: int, direction: int) -> PhysicalLink:
+        if (src, dst) in self._by_pair:
+            raise TopologyError(f"duplicate link {src}->{dst}")
+        link = PhysicalLink(len(self.links), src, dst, dim, direction)
+        self.links.append(link)
+        self._out.setdefault(src, []).append(link)
+        self._in.setdefault(dst, []).append(link)
+        self._by_pair[(src, dst)] = link
+        return link
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def out_links(self, node: int) -> list[PhysicalLink]:
+        """Physical channels leaving ``node``."""
+        self._check_node(node)
+        return self._out.get(node, [])
+
+    def in_links(self, node: int) -> list[PhysicalLink]:
+        """Physical channels entering ``node``."""
+        self._check_node(node)
+        return self._in.get(node, [])
+
+    def link_between(self, src: int, dst: int) -> PhysicalLink:
+        try:
+            return self._by_pair[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no physical channel {src}->{dst}") from None
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._by_pair
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(f"node {node} out of range [0, {self.num_nodes})")
+
+    # -- geometry (implemented by subclasses) -----------------------------------
+    def coords(self, node: int) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def node_at(self, coords: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def min_distance(self, a: int, b: int) -> int:
+        """Length of a shortest path from ``a`` to ``b`` in hops."""
+        raise NotImplementedError
+
+    def productive_links(self, node: int, dest: int) -> list[PhysicalLink]:
+        """Outgoing links of ``node`` that lie on some minimal path to ``dest``.
+
+        This is the geometric core of minimal routing: a link is *productive*
+        when taking it strictly reduces the remaining distance to ``dest``.
+        """
+        raise NotImplementedError
+
+    # -- derived metrics ---------------------------------------------------------
+    @cached_property
+    def average_internode_distance(self) -> float:
+        """Mean :meth:`min_distance` over all ordered pairs of distinct nodes.
+
+        Used to normalize the offered load: the paper computes load rates
+        "based on total link bandwidth and average internode distance".
+        """
+        n = self.num_nodes
+        total = sum(
+            self.min_distance(a, b) for a in range(n) for b in range(n) if a != b
+        )
+        return total / (n * (n - 1))
+
+    @cached_property
+    def capacity_flits_per_node_cycle(self) -> float:
+        """Network capacity in flits per node per cycle.
+
+        With every physical link carrying one flit per cycle, the aggregate
+        bandwidth is ``num_links`` flit-hops per cycle.  Each delivered flit
+        consumes ``average_internode_distance`` flit-hops on average, so full
+        capacity corresponds to ``num_links / (N * avg_distance)`` flits
+        accepted per node per cycle.  A *normalized load* of ``L`` therefore
+        means each node injects ``L * capacity`` flits per cycle on average.
+        """
+        return self.num_links / (self.num_nodes * self.average_internode_distance)
+
+
+class KAryNCube(Topology):
+    """A k-ary n-cube torus with uni- or bidirectional physical channels.
+
+    Parameters
+    ----------
+    k:
+        Radix (nodes per dimension), ``k >= 2``.
+    n:
+        Number of dimensions, ``n >= 1``.
+    bidirectional:
+        When True (paper default) each pair of adjacent nodes is joined by a
+        physical channel in each direction.  When False only the ``+``
+        direction rings exist, as in the unidirectional torus of Figure 5.
+
+    Node ids are the mixed-radix encoding of coordinates with dimension 0 as
+    the least significant digit.
+    """
+
+    def __init__(self, k: int, n: int, *, bidirectional: bool = True) -> None:
+        super().__init__()
+        if k < 2:
+            raise TopologyError(f"radix k must be >= 2, got {k}")
+        if n < 1:
+            raise TopologyError(f"dimension count n must be >= 1, got {n}")
+        if k == 2 and bidirectional:
+            # In a 2-ary torus the +1 and -1 neighbours coincide; we keep a
+            # single physical channel per ordered pair to avoid duplicates.
+            pass
+        self.k = k
+        self.n = n
+        self.bidirectional = bidirectional
+        self.num_nodes = k**n
+        self._coords = [self._compute_coords(node) for node in range(self.num_nodes)]
+        for node in range(self.num_nodes):
+            c = self.coords(node)
+            for dim in range(n):
+                fwd = list(c)
+                fwd[dim] = (fwd[dim] + 1) % k
+                dst = self.node_at(fwd)
+                if not self.has_link(node, dst):
+                    self._add_link(node, dst, dim, +1)
+                if bidirectional:
+                    bwd = list(c)
+                    bwd[dim] = (bwd[dim] - 1) % k
+                    dst = self.node_at(bwd)
+                    if not self.has_link(node, dst):
+                        self._add_link(node, dst, dim, -1)
+
+    # -- geometry ---------------------------------------------------------------
+    def _compute_coords(self, node: int) -> tuple[int, ...]:
+        out = []
+        for _ in range(self.n):
+            out.append(node % self.k)
+            node //= self.k
+        return tuple(out)
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        if 0 <= node < self.num_nodes:
+            return self._coords[node]
+        self._check_node(node)
+        raise AssertionError  # pragma: no cover - _check_node always raises
+
+    def node_at(self, coords: Sequence[int]) -> int:
+        if len(coords) != self.n:
+            raise TopologyError(f"expected {self.n} coordinates, got {len(coords)}")
+        node = 0
+        for dim in reversed(range(self.n)):
+            c = coords[dim] % self.k
+            node = node * self.k + c
+        return node
+
+    def _dim_distance(self, a: int, b: int) -> int:
+        """Hop distance from coordinate ``a`` to ``b`` within one ring."""
+        fwd = (b - a) % self.k
+        if not self.bidirectional:
+            return fwd
+        return min(fwd, self.k - fwd)
+
+    def min_distance(self, a: int, b: int) -> int:
+        ca, cb = self.coords(a), self.coords(b)
+        return sum(self._dim_distance(x, y) for x, y in zip(ca, cb))
+
+    def productive_directions(self, node: int, dest: int) -> list[tuple[int, int]]:
+        """``(dim, direction)`` pairs that reduce the distance to ``dest``.
+
+        In a bidirectional torus with an even radix, a coordinate offset of
+        exactly ``k/2`` makes *both* directions minimal; both are returned.
+        """
+        cn, cd = self.coords(node), self.coords(dest)
+        out: list[tuple[int, int]] = []
+        for dim in range(self.n):
+            off = (cd[dim] - cn[dim]) % self.k
+            if off == 0:
+                continue
+            if not self.bidirectional:
+                out.append((dim, +1))
+                continue
+            back = self.k - off
+            if off < back:
+                out.append((dim, +1))
+            elif back < off:
+                out.append((dim, -1))
+            elif self.k == 2:
+                # radix 2: the two directions reach the same neighbour over
+                # the same physical channel, so report it once
+                out.append((dim, +1))
+            else:  # off == k/2: both directions are minimal
+                out.append((dim, +1))
+                out.append((dim, -1))
+        return out
+
+    def productive_links(self, node: int, dest: int) -> list[PhysicalLink]:
+        c = self.coords(node)
+        out = []
+        for dim, direction in self.productive_directions(node, dest):
+            nxt = list(c)
+            nxt[dim] = (nxt[dim] + direction) % self.k
+            out.append(self.link_between(node, self.node_at(nxt)))
+        return out
+
+    def neighbour(self, node: int, dim: int, direction: int) -> int:
+        """Node one hop from ``node`` in ``(dim, direction)``."""
+        c = list(self.coords(node))
+        c[dim] = (c[dim] + direction) % self.k
+        return self.node_at(c)
+
+    @cached_property
+    def average_internode_distance(self) -> float:
+        # Closed form: coordinates are independent, so the mean distance is n
+        # times the mean per-ring distance over all ordered pairs (including
+        # equal coordinates), corrected to exclude the zero self-pair.
+        k, n = self.k, self.n
+        if self.bidirectional:
+            per_ring = sum(min(d, k - d) for d in range(k)) / k
+        else:
+            per_ring = (k - 1) / 2
+        total_pairs = self.num_nodes * (self.num_nodes - 1)
+        # Sum over ordered node pairs including self-pairs is N^2 * n * per_ring.
+        return (self.num_nodes**2 * n * per_ring) / total_pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "bi" if self.bidirectional else "uni"
+        return f"KAryNCube(k={self.k}, n={self.n}, {kind})"
+
+
+class Mesh(KAryNCube):
+    """A k-ary n-mesh (torus without wraparound links); always bidirectional.
+
+    Not used by the paper's headline experiments but needed by the turn-model
+    avoidance baseline, which is defined for meshes.
+    """
+
+    def __init__(self, k: int, n: int) -> None:
+        Topology.__init__(self)
+        if k < 2:
+            raise TopologyError(f"radix k must be >= 2, got {k}")
+        if n < 1:
+            raise TopologyError(f"dimension count n must be >= 1, got {n}")
+        self.k = k
+        self.n = n
+        self.bidirectional = True
+        self.num_nodes = k**n
+        self._coords = [self._compute_coords(node) for node in range(self.num_nodes)]
+        for node in range(self.num_nodes):
+            c = self.coords(node)
+            for dim in range(n):
+                if c[dim] + 1 < k:
+                    fwd = list(c)
+                    fwd[dim] += 1
+                    self._add_link(node, self.node_at(fwd), dim, +1)
+                if c[dim] - 1 >= 0:
+                    bwd = list(c)
+                    bwd[dim] -= 1
+                    self._add_link(node, self.node_at(bwd), dim, -1)
+
+    def _dim_distance(self, a: int, b: int) -> int:
+        return abs(b - a)
+
+    def productive_directions(self, node: int, dest: int) -> list[tuple[int, int]]:
+        cn, cd = self.coords(node), self.coords(dest)
+        out = []
+        for dim in range(self.n):
+            if cd[dim] > cn[dim]:
+                out.append((dim, +1))
+            elif cd[dim] < cn[dim]:
+                out.append((dim, -1))
+        return out
+
+    @cached_property
+    def average_internode_distance(self) -> float:
+        k, n = self.k, self.n
+        per_ring = sum(abs(a - b) for a in range(k) for b in range(k)) / (k * k)
+        total_pairs = self.num_nodes * (self.num_nodes - 1)
+        return (self.num_nodes**2 * n * per_ring) / total_pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mesh(k={self.k}, n={self.n})"
+
+
+class IrregularTorus(KAryNCube):
+    """A bidirectional torus with a set of failed (removed) links.
+
+    The paper's future-work section proposes studying irregular topologies and
+    faulty links; faulty links are also how minimal adaptive routing loses its
+    adaptivity in the Figure 2 example.  Removing a link removes the physical
+    channel in *one* direction only (the reverse channel survives unless also
+    listed).  Minimal-path geometry falls back to a BFS over surviving links.
+    """
+
+    def __init__(
+        self, k: int, n: int, failed: Iterable[tuple[int, int]] = ()
+    ) -> None:
+        super().__init__(k, n, bidirectional=True)
+        failed = set(failed)
+        if failed:
+            keep = [l for l in self.links if (l.src, l.dst) not in failed]
+            removed = len(self.links) - len(keep)
+            if removed != len(failed):
+                missing = {
+                    (s, d) for (s, d) in failed if (s, d) not in self._by_pair
+                }
+                raise TopologyError(f"failed links not present: {sorted(missing)}")
+            self.links = []
+            self._out.clear()
+            self._in.clear()
+            self._by_pair.clear()
+            for l in keep:
+                self._add_link(l.src, l.dst, l.dim, l.direction)
+        self.failed = failed
+        self._dist = self._all_pairs_distances()
+
+    def _all_pairs_distances(self) -> list[list[int]]:
+        """BFS from every node over surviving links."""
+        n = self.num_nodes
+        inf = n + 1
+        dist = [[inf] * n for _ in range(n)]
+        for start in range(n):
+            row = dist[start]
+            row[start] = 0
+            frontier = [start]
+            d = 0
+            while frontier:
+                d += 1
+                nxt = []
+                for u in frontier:
+                    for link in self.out_links(u):
+                        if row[link.dst] > d:
+                            row[link.dst] = d
+                            nxt.append(link.dst)
+                frontier = nxt
+        for start in range(n):
+            if max(dist[start]) >= inf:
+                raise TopologyError("failed links disconnect the network")
+        return dist
+
+    def min_distance(self, a: int, b: int) -> int:
+        self._check_node(a)
+        self._check_node(b)
+        return self._dist[a][b]
+
+    def productive_links(self, node: int, dest: int) -> list[PhysicalLink]:
+        if node == dest:
+            return []
+        d = self._dist[node][dest]
+        return [
+            link for link in self.out_links(node) if self._dist[link.dst][dest] == d - 1
+        ]
+
+    @cached_property
+    def average_internode_distance(self) -> float:
+        return Topology.average_internode_distance.func(self)  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IrregularTorus(k={self.k}, n={self.n}, failed={len(self.failed)})"

@@ -1,0 +1,100 @@
+"""Minimal true fully adaptive routing (TFAR), unrestricted VC use.
+
+The paper's adaptive routing subject: at every hop a message may use *any*
+virtual channel of *any* physical channel that lies on a minimal path to its
+destination.  No escape channels or VC ordering is imposed ("true fully
+adaptive"), so deadlock is possible; adaptivity is exhausted only when a
+single productive dimension remains (e.g. near the destination), at which
+point TFAR degenerates to the Figure 2 single-option situation.
+
+A non-minimal variant with bounded misrouting is provided as
+:class:`MisroutingTFAR` for the paper's future-work extension.
+"""
+
+from __future__ import annotations
+
+from repro.network.channels import ChannelPool, VirtualChannel
+from repro.network.message import Message
+from repro.network.topology import Topology
+from repro.routing.base import RoutingFunction
+
+__all__ = ["TrueFullyAdaptiveRouting", "MisroutingTFAR"]
+
+
+class TrueFullyAdaptiveRouting(RoutingFunction):
+    """Minimal fully adaptive routing over every VC of every productive link."""
+
+    name = "TFAR"
+    deadlock_free = False
+
+    def candidates(
+        self,
+        message: Message,
+        node: int,
+        topology: Topology,
+        pool: ChannelPool,
+    ) -> list[VirtualChannel]:
+        out: list[VirtualChannel] = []
+        for link in topology.productive_links(node, message.dest):
+            out.extend(pool.vcs_of_link(link))
+        return self._require_progress(message, node, out)
+
+
+class MisroutingTFAR(TrueFullyAdaptiveRouting):
+    """TFAR extended with bounded non-minimal routing (misrouting).
+
+    When fewer than ``misroute_budget`` non-minimal hops have been taken,
+    *every* outgoing link is a candidate, not just productive ones.  The
+    budget is approximated statelessly: a message may misroute while its
+    owned-VC chain is no more than ``min_distance(src, dest) +
+    misroute_budget`` hops long.  Misrouting trades longer paths for fewer
+    blocked headers — one of the knobs the paper lists for future study.
+    """
+
+    name = "TFAR-mis"
+
+    def __init__(self, misroute_budget: int = 2) -> None:
+        if misroute_budget < 0:
+            raise ValueError("misroute_budget must be >= 0")
+        self.misroute_budget = misroute_budget
+
+    def cache_key(self, message, node):
+        # the misroute budget depends on the source, hops taken and the
+        # identity of the previous hop (U-turn filtering)
+        prev = message.vcs[-1].index if message.vcs else -1
+        return (node, message.dest, message.src, len(message.vcs), prev)
+
+    def candidates(
+        self,
+        message: Message,
+        node: int,
+        topology: Topology,
+        pool: ChannelPool,
+    ) -> list[VirtualChannel]:
+        minimal = topology.productive_links(node, message.dest)
+        hops_taken = len(message.vcs)
+        budget_left = (
+            topology.min_distance(message.src, message.dest)
+            + self.misroute_budget
+            - hops_taken
+            - topology.min_distance(node, message.dest)
+        )
+        if budget_left > 0:
+            links = list(topology.out_links(node))
+        else:
+            links = minimal
+        out: list[VirtualChannel] = []
+        for link in links:
+            out.extend(pool.vcs_of_link(link))
+        # Never offer a channel straight back to where the header came from:
+        # a 2-cycle with its own previous hop is wasteful and can livelock.
+        if message.vcs:
+            prev = message.vcs[-1].link
+            filtered = [
+                vc
+                for vc in out
+                if not (vc.link.dst == prev.src and vc.link.src == prev.dst)
+            ]
+            if filtered:  # keep connectivity if the U-turn is the only way back
+                out = filtered
+        return self._require_progress(message, node, out)

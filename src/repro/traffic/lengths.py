@@ -1,0 +1,94 @@
+"""Message-length distributions.
+
+The paper's evaluation fixes message length at 32 flits; its future-work
+section proposes studying *hybrid message lengths*.  This module supplies
+length samplers: fixed (the paper's setting), a discrete mix (e.g. 80%
+short control packets + 20% long data messages, the classic bimodal
+multicomputer workload), and a uniform range.
+
+A sampler is a callable ``(random.Random) -> int`` with a ``mean``
+attribute; the generator uses the mean to normalize offered load so that a
+given load level injects the same *flit* rate regardless of the mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LengthSampler", "FixedLength", "LengthMix", "UniformLengthRange"]
+
+
+class LengthSampler:
+    """Base class: draws the flit length of each new message."""
+
+    mean: float
+
+    def __call__(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class FixedLength(LengthSampler):
+    """Every message has the same length (paper default)."""
+
+    def __init__(self, length: int) -> None:
+        if length < 1:
+            raise ConfigurationError(f"length must be >= 1, got {length}")
+        self.length = length
+        self.mean = float(length)
+
+    def __call__(self, rng: random.Random) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedLength({self.length})"
+
+
+class LengthMix(LengthSampler):
+    """A discrete mixture of lengths, e.g. ``[(4, 0.8), (32, 0.2)]``."""
+
+    def __init__(self, mix: Sequence[tuple[int, float]]) -> None:
+        if not mix:
+            raise ConfigurationError("length mix must be non-empty")
+        for length, weight in mix:
+            if length < 1:
+                raise ConfigurationError(f"length must be >= 1, got {length}")
+            if weight <= 0:
+                raise ConfigurationError(f"weight must be > 0, got {weight}")
+        total = sum(w for _, w in mix)
+        self.lengths = [l for l, _ in mix]
+        self.weights = [w / total for _, w in mix]
+        self.cumulative = []
+        acc = 0.0
+        for w in self.weights:
+            acc += w
+            self.cumulative.append(acc)
+        self.mean = sum(l * w for l, w in zip(self.lengths, self.weights))
+
+    def __call__(self, rng: random.Random) -> int:
+        x = rng.random()
+        for length, edge in zip(self.lengths, self.cumulative):
+            if x < edge:
+                return length
+        return self.lengths[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LengthMix({list(zip(self.lengths, self.weights))})"
+
+
+class UniformLengthRange(LengthSampler):
+    """Lengths drawn uniformly from ``[lo, hi]`` inclusive."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if lo < 1 or hi < lo:
+            raise ConfigurationError(f"invalid length range [{lo}, {hi}]")
+        self.lo, self.hi = lo, hi
+        self.mean = (lo + hi) / 2
+
+    def __call__(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformLengthRange({self.lo}, {self.hi})"

@@ -1,0 +1,222 @@
+"""Trace-driven workloads.
+
+The paper's future work proposes "characteriz[ing] deadlock formation under
+hybrid non-uniform traffic loads using program-driven simulations".  With
+no production traces available, this module provides:
+
+* a :class:`TraceRecord` / :class:`Trace` format — ``(cycle, src, dest,
+  length)`` tuples, loadable from a simple whitespace text file;
+* :class:`TraceGenerator`, a drop-in replacement for the Bernoulli
+  :class:`~repro.traffic.injection.MessageGenerator` that replays a trace;
+* synthetic trace builders emulating the communication phases of classic
+  parallel programs: nearest-neighbour stencil exchange, butterfly (FFT)
+  stages, and bulk-synchronous all-to-all — the workloads whose bursty,
+  correlated traffic the paper's Bernoulli model cannot express.
+
+The point of trace replay for deadlock study: correlated *simultaneous*
+communication (every node sending at the same instant, in the same
+direction pattern) is precisely the "correlated resource dependency"
+regime in which knots form.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.message import Message
+from repro.network.topology import KAryNCube, Topology
+
+__all__ = [
+    "TraceRecord",
+    "Trace",
+    "TraceGenerator",
+    "stencil_trace",
+    "butterfly_trace",
+    "all_to_all_trace",
+]
+
+
+@dataclass(frozen=True, order=True)
+class TraceRecord:
+    """One message injection event."""
+
+    cycle: int
+    src: int
+    dest: int
+    length: int
+
+    def validate(self, num_nodes: int) -> None:
+        if self.cycle < 0:
+            raise ConfigurationError(f"negative cycle in trace: {self}")
+        if not (0 <= self.src < num_nodes and 0 <= self.dest < num_nodes):
+            raise ConfigurationError(f"node out of range in trace: {self}")
+        if self.src == self.dest:
+            raise ConfigurationError(f"self-addressed trace record: {self}")
+        if self.length < 1:
+            raise ConfigurationError(f"non-positive length in trace: {self}")
+
+
+class Trace:
+    """An ordered sequence of injection events."""
+
+    def __init__(self, records: Iterable[TraceRecord]) -> None:
+        self.records = sorted(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def total_flits(self) -> int:
+        return sum(r.length for r in self.records)
+
+    @property
+    def last_cycle(self) -> int:
+        return self.records[-1].cycle if self.records else 0
+
+    def validate(self, num_nodes: int) -> None:
+        for r in self.records:
+            r.validate(num_nodes)
+
+    # -- (de)serialization -------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Trace":
+        """Parse ``cycle src dest length`` lines ('#' comments allowed)."""
+        records = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise ConfigurationError(
+                    f"trace line {lineno}: expected 4 fields, got {len(parts)}"
+                )
+            try:
+                cycle, src, dest, length = (int(p) for p in parts)
+            except ValueError:
+                raise ConfigurationError(
+                    f"trace line {lineno}: non-integer field in {line!r}"
+                ) from None
+            records.append(TraceRecord(cycle, src, dest, length))
+        return cls(records)
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        with open(path) as fh:
+            return cls.parse(fh.read())
+
+    def dump(self) -> str:
+        lines = ["# cycle src dest length"]
+        lines.extend(
+            f"{r.cycle} {r.src} {r.dest} {r.length}" for r in self.records
+        )
+        return "\n".join(lines) + "\n"
+
+
+class TraceGenerator:
+    """Replays a trace; API-compatible with ``MessageGenerator.tick``."""
+
+    def __init__(self, topology: Topology, trace: Trace) -> None:
+        trace.validate(topology.num_nodes)
+        self.topology = topology
+        self.trace = trace
+        self._pos = 0
+        self._next_id = 0
+        self.generated = 0
+        self.suppressed = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self.trace.records)
+
+    def tick(self, cycle: int, queue_lengths: Sequence[int]) -> list[Message]:
+        out: list[Message] = []
+        records = self.trace.records
+        while self._pos < len(records) and records[self._pos].cycle <= cycle:
+            r = records[self._pos]
+            self._pos += 1
+            out.append(Message(self._next_id, r.src, r.dest, r.length, cycle))
+            self._next_id += 1
+            self.generated += 1
+        return out
+
+
+# -- synthetic program-phase builders -----------------------------------------------
+
+
+def stencil_trace(
+    topology: KAryNCube,
+    *,
+    iterations: int = 10,
+    period: int = 200,
+    length: int = 16,
+    start: int = 0,
+) -> Trace:
+    """Nearest-neighbour halo exchange: every node sends to every neighbour
+    simultaneously at the start of each iteration (e.g. a Jacobi sweep)."""
+    if not isinstance(topology, KAryNCube):
+        raise ConfigurationError("stencil traces require a k-ary n-cube")
+    records = []
+    for it in range(iterations):
+        cycle = start + it * period
+        for node in range(topology.num_nodes):
+            for link in topology.out_links(node):
+                records.append(TraceRecord(cycle, node, link.dst, length))
+    return Trace(records)
+
+
+def butterfly_trace(
+    topology: Topology,
+    *,
+    period: int = 200,
+    length: int = 16,
+    start: int = 0,
+) -> Trace:
+    """FFT-style butterfly: stage s pairs node i with i XOR 2**s.
+
+    Requires a power-of-two node count; one stage per period, log2(N)
+    stages, every node sending simultaneously — maximally correlated.
+    """
+    n = topology.num_nodes
+    if n & (n - 1):
+        raise ConfigurationError("butterfly traces require 2^m nodes")
+    stages = n.bit_length() - 1
+    records = []
+    for s in range(stages):
+        cycle = start + s * period
+        for node in range(n):
+            records.append(TraceRecord(cycle, node, node ^ (1 << s), length))
+    return Trace(records)
+
+
+def all_to_all_trace(
+    topology: Topology,
+    *,
+    period: int = 100,
+    length: int = 8,
+    start: int = 0,
+    rng: random.Random | None = None,
+) -> Trace:
+    """Bulk-synchronous all-to-all (e.g. a transpose/shuffle phase).
+
+    Round r has node i send to node (i + r) mod N; rounds are staggered by
+    ``period``.  With ``rng`` supplied the round order is shuffled per node
+    (a common congestion-avoiding schedule).
+    """
+    n = topology.num_nodes
+    records = []
+    rounds = list(range(1, n))
+    for idx, r in enumerate(rounds):
+        cycle = start + idx * period
+        for node in range(n):
+            offset = r if rng is None else rng.choice(rounds)
+            dest = (node + offset) % n
+            if dest != node:
+                records.append(TraceRecord(cycle, node, dest, length))
+    return Trace(records)

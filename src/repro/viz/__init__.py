@@ -1,0 +1,5 @@
+"""ASCII visualization of live network state and deadlock anatomy."""
+
+from repro.viz.netview import describe_event, render_knot, render_occupancy
+
+__all__ = ["render_occupancy", "render_knot", "describe_event"]

@@ -1,0 +1,154 @@
+"""Unit tests for the channel wait-for graph data structure."""
+
+import pytest
+
+from repro.core.cwg import ChannelWaitForGraph
+from repro.errors import SimulationError
+
+
+def test_empty_graph():
+    g = ChannelWaitForGraph()
+    assert g.num_vertices == 0
+    assert g.num_arcs == 0
+    assert g.adjacency() == {}
+    assert g.blocked_messages() == []
+
+
+def test_single_chain_solid_arcs():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a", "b", "c"])
+    assert g.num_vertices == 3
+    assert g.solid_arcs() == [("a", "b", 1), ("b", "c", 1)]
+    assert g.dashed_arcs() == []
+    assert g.owner["a"] == 1 and g.owner["c"] == 1
+
+
+def test_single_vertex_chain_has_no_arcs():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(5, ["only"])
+    assert g.num_arcs == 0
+    assert g.adjacency() == {"only": []}
+
+
+def test_request_arcs_originate_at_newest_owned_vertex():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a", "b"])
+    g.add_ownership_chain(2, ["x"])
+    g.add_request(1, ["x", "y"])
+    assert g.request_from[1] == "b"
+    assert sorted(g.dashed_arcs()) == [("b", "x", 1), ("b", "y", 1)]
+    # y was never owned: a free vertex in the graph
+    assert g.owner["y"] is None
+
+
+def test_exclusive_ownership_enforced():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a", "b"])
+    with pytest.raises(SimulationError):
+        g.add_ownership_chain(2, ["b", "c"])
+
+
+def test_duplicate_chain_rejected():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a"])
+    with pytest.raises(SimulationError):
+        g.add_ownership_chain(1, ["b"])
+
+
+def test_empty_chain_rejected():
+    g = ChannelWaitForGraph()
+    with pytest.raises(SimulationError):
+        g.add_ownership_chain(1, [])
+
+
+def test_request_without_ownership_rejected():
+    g = ChannelWaitForGraph()
+    with pytest.raises(SimulationError):
+        g.add_request(1, ["a"])
+
+
+def test_request_with_no_targets_rejected():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a"])
+    with pytest.raises(SimulationError):
+        g.add_request(1, [])
+
+
+def test_duplicate_request_rejected():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a"])
+    g.add_request(1, ["b"])
+    with pytest.raises(SimulationError):
+        g.add_request(1, ["c"])
+
+
+def test_adjacency_combines_solid_and_dashed():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a", "b"])
+    g.add_ownership_chain(2, ["c"])
+    g.add_request(1, ["c"])
+    adj = g.adjacency()
+    assert adj["a"] == ["b"]
+    assert adj["b"] == ["c"]
+    assert adj["c"] == []
+
+
+def test_fan_out_counts_alternatives():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a"])
+    g.add_request(1, ["b", "c", "d"])
+    assert g.fan_out(1) == 3
+    assert g.fan_out(99) == 0  # unknown message: no requests
+
+
+def test_messages_owning_and_resources_of():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a", "b"])
+    g.add_ownership_chain(2, ["c"])
+    assert g.messages_owning(["a", "c"]) == {1, 2}
+    assert g.messages_owning(["nonexistent"]) == set()
+    assert g.resources_of([1]) == {"a", "b"}
+    assert g.resources_of([1, 2]) == {"a", "b", "c"}
+    assert g.resources_of([42]) == set()
+
+
+def test_num_arcs_counts_both_kinds():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a", "b", "c"])  # 2 solid
+    g.add_ownership_chain(2, ["d"])
+    g.add_request(1, ["d", "e"])  # 2 dashed
+    assert g.num_arcs == 4
+
+
+def test_blocked_messages_lists_requesters_only():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a"])
+    g.add_ownership_chain(2, ["b"])
+    g.add_request(1, ["b"])
+    assert g.blocked_messages() == [1]
+
+
+def test_add_vertex_registers_free_vertex():
+    g = ChannelWaitForGraph()
+    g.add_vertex("v")
+    assert g.owner["v"] is None
+    g.add_vertex("v", owner=3)  # upgrading a free vertex is allowed
+    assert g.owner["v"] == 3
+
+
+def test_add_vertex_conflicting_owner_rejected():
+    g = ChannelWaitForGraph()
+    g.add_vertex("v", owner=1)
+    with pytest.raises(SimulationError):
+        g.add_vertex("v", owner=2)
+
+
+def test_to_dot_mentions_all_arcs():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a", "b"])
+    g.add_ownership_chain(2, ["c"])
+    g.add_request(1, ["c"])
+    dot = g.to_dot()
+    assert '"a" -> "b"' in dot
+    assert "style=dashed" in dot
+    assert dot.startswith("digraph")

@@ -1,0 +1,172 @@
+"""Tests for incremental CWG maintenance.
+
+The crucial property: at every detection instant the event-maintained
+graph is *identical* to the graph rebuilt from scratch — same vertices,
+same ownership, same solid and dashed arcs — across randomized runs of
+every routing/recovery combination.
+"""
+
+import pytest
+
+from repro.config import tiny_default
+from repro.core.cwg import ChannelWaitForGraph
+from repro.core.detector import DeadlockDetector
+from repro.core.incremental import IncrementalCWG
+from repro.errors import SimulationError
+from repro.network.simulator import NetworkSimulator
+
+
+def graphs_equal(a: ChannelWaitForGraph, b: ChannelWaitForGraph) -> bool:
+    return (
+        a.chains == b.chains
+        and a.requests == b.requests
+        and {v: o for v, o in a.owner.items() if o is not None}
+        == {v: o for v, o in b.owner.items() if o is not None}
+    )
+
+
+class TestUnitEvents:
+    def test_acquire_release_lifecycle(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_acquire(1, "b")
+        assert t.chains[1] == ["a", "b"]
+        assert t.owner == {"a": 1, "b": 1}
+        t.on_release(1, "a")
+        assert t.chains[1] == ["b"]
+        t.on_release(1, "b")
+        assert 1 not in t.chains
+        assert t.owner == {}
+        t.assert_consistent()
+
+    def test_double_acquire_rejected(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        with pytest.raises(SimulationError):
+            t.on_acquire(2, "a")
+
+    def test_out_of_order_release_rejected(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_acquire(1, "b")
+        with pytest.raises(SimulationError):
+            t.on_release(1, "b")  # not the tail
+
+    def test_block_unblock(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_block(1, ["x", "y"])
+        assert t.requests[1] == ["x", "y"]
+        t.on_unblock(1)
+        assert 1 not in t.requests
+
+    def test_block_without_chain_ignored(self):
+        t = IncrementalCWG()
+        t.on_block(7, ["x"])  # source-queued message: not in the CWG
+        assert 7 not in t.requests
+
+    def test_acquire_clears_block(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_block(1, ["x"])
+        t.on_acquire(1, "x")
+        assert 1 not in t.requests
+
+    def test_on_done_clears_everything(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_acquire(1, "b")
+        t.on_block(1, ["x"])
+        t.on_done(1)
+        assert not t.chains and not t.owner and not t.requests
+        t.assert_consistent()
+
+    def test_snapshot_round_trip(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_acquire(1, "b")
+        t.on_acquire(2, "c")
+        t.on_block(1, ["c"])
+        g = t.snapshot()
+        assert g.chains == {1: ["a", "b"], 2: ["c"]}
+        assert g.requests == {1: ["c"]}
+        assert t.adjacency() == g.adjacency()
+
+
+class TestEquivalenceWithRebuild:
+    @pytest.mark.parametrize(
+        "routing,vcs,recovery,teardown,load,seed",
+        [
+            ("dor", 1, "disha", "instant", 1.0, 1),
+            ("dor", 1, "disha", "flit-by-flit", 1.0, 2),
+            ("tfar", 1, "disha", "instant", 1.0, 3),
+            ("tfar", 2, "disha", "instant", 1.2, 4),
+            ("dor", 1, "abort-all", "instant", 0.9, 5),
+            ("dor", 1, "none", "instant", 1.0, 6),
+            ("dor-dateline", 2, "disha", "instant", 1.2, 7),
+        ],
+    )
+    def test_tracker_matches_rebuild_at_every_detection(
+        self, routing, vcs, recovery, teardown, load, seed
+    ):
+        cfg = tiny_default(
+            routing=routing,
+            num_vcs=vcs,
+            recovery=recovery,
+            recovery_teardown=teardown,
+            load=load,
+            seed=seed,
+            cwg_maintenance="incremental",
+            warmup_cycles=0,
+            measure_cycles=1200,
+            detection_interval=50,
+        )
+        sim = NetworkSimulator(cfg)
+        checks = 0
+        while sim.cycle < 1200:
+            sim.step()
+            if sim.cycle % 50 == 0:
+                sim.tracker.assert_consistent()
+                incremental = sim.tracker.snapshot()
+                rebuilt = DeadlockDetector.build_cwg(sim)
+                assert graphs_equal(incremental, rebuilt), (
+                    f"divergence at cycle {sim.cycle}"
+                )
+                checks += 1
+        assert checks >= 20
+
+    def test_detection_results_identical_between_modes(self):
+        outcomes = {}
+        for mode in ("rebuild", "incremental"):
+            cfg = tiny_default(
+                routing="dor", num_vcs=1, load=1.0, seed=3,
+                cwg_maintenance=mode, measure_cycles=2000,
+            )
+            result = NetworkSimulator(cfg).run()
+            outcomes[mode] = (
+                result.deadlocks,
+                result.delivered,
+                tuple(result.deadlock_set_sizes),
+                tuple(result.cycle_counts),
+            )
+        assert outcomes["rebuild"] == outcomes["incremental"]
+
+    def test_router_delay_equivalence(self):
+        cfg = tiny_default(
+            routing="dor", num_vcs=1, load=1.0, seed=9, router_delay=2,
+            cwg_maintenance="incremental", warmup_cycles=0,
+            measure_cycles=800,
+        )
+        sim = NetworkSimulator(cfg)
+        while sim.cycle < 800:
+            sim.step()
+            if sim.cycle % 100 == 0:
+                assert graphs_equal(
+                    sim.tracker.snapshot(), DeadlockDetector.build_cwg(sim)
+                )
+
+    def test_invalid_mode_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            tiny_default(cwg_maintenance="telepathy").validate()

@@ -1,0 +1,118 @@
+"""Unit tests for SCC and knot detection."""
+
+from repro.core.knots import (
+    find_knots,
+    knot_of_vertex,
+    strongly_connected_components,
+)
+
+
+def sccs_as_sets(adj):
+    return {frozenset(c) for c in strongly_connected_components(adj)}
+
+
+class TestSCC:
+    def test_empty_graph(self):
+        assert strongly_connected_components({}) == []
+
+    def test_single_vertex(self):
+        assert sccs_as_sets({"a": []}) == {frozenset({"a"})}
+
+    def test_two_cycle(self):
+        adj = {"a": ["b"], "b": ["a"]}
+        assert sccs_as_sets(adj) == {frozenset({"a", "b"})}
+
+    def test_chain_is_all_singletons(self):
+        adj = {1: [2], 2: [3], 3: []}
+        assert sccs_as_sets(adj) == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_two_separate_cycles(self):
+        adj = {1: [2], 2: [1], 3: [4], 4: [3]}
+        assert sccs_as_sets(adj) == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_cycle_with_tail(self):
+        adj = {0: [1], 1: [2], 2: [0], 3: [0]}
+        assert sccs_as_sets(adj) == {frozenset({0, 1, 2}), frozenset({3})}
+
+    def test_emission_order_is_reverse_topological(self):
+        # successor components must be emitted before predecessors
+        adj = {"a": ["b"], "b": ["c"], "c": []}
+        order = strongly_connected_components(adj)
+        assert order.index(["c"]) < order.index(["b"]) < order.index(["a"])
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        adj = {i: [i + 1] for i in range(n)}
+        adj[n] = []
+        assert len(strongly_connected_components(adj)) == n + 1
+
+    def test_successors_of_unlisted_vertex(self):
+        # targets that never appear as keys must still be traversed
+        adj = {"a": ["b"]}
+        comps = sccs_as_sets(adj)
+        assert frozenset({"a"}) in comps  # 'b' has no key; reachable anyway
+
+
+class TestKnots:
+    def test_simple_cycle_is_knot(self):
+        adj = {1: [2], 2: [3], 3: [1]}
+        assert find_knots(adj) == [frozenset({1, 2, 3})]
+
+    def test_cycle_with_escape_is_not_knot(self):
+        # Figure 4 pattern: the cycle can reach an exit vertex
+        adj = {1: [2], 2: [3], 3: [1, "exit"], "exit": []}
+        assert find_knots(adj) == []
+
+    def test_self_loop_is_knot(self):
+        adj = {"v": ["v"]}
+        assert find_knots(adj) == [frozenset({"v"})]
+
+    def test_isolated_vertex_is_not_knot(self):
+        assert find_knots({"v": []}) == []
+
+    def test_sink_vertex_of_chain_is_not_knot(self):
+        assert find_knots({1: [2], 2: []}) == []
+
+    def test_two_disjoint_knots(self):
+        adj = {1: [2], 2: [1], 3: [4], 4: [3]}
+        assert set(find_knots(adj)) == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_knot_plus_feeding_cycle(self):
+        # cycle {1,2} feeds knot {3,4}: only {3,4} is a knot
+        adj = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+        assert find_knots(adj) == [frozenset({3, 4})]
+
+    def test_knot_with_incoming_tail(self):
+        adj = {0: [1], 1: [2], 2: [1]}
+        assert find_knots(adj) == [frozenset({1, 2})]
+
+    def test_whole_graph_strongly_connected(self):
+        n = 10
+        adj = {i: [(i + 1) % n] for i in range(n)}
+        assert find_knots(adj) == [frozenset(range(n))]
+
+    def test_multi_cycle_knot(self):
+        # ring of 4 plus both chords: strongly connected, sink => knot
+        adj = {0: [1, 2], 1: [2], 2: [3, 0], 3: [0]}
+        assert find_knots(adj) == [frozenset({0, 1, 2, 3})]
+
+
+class TestKnotOfVertex:
+    def test_agrees_with_find_knots_on_member(self):
+        adj = {1: [2], 2: [3], 3: [1]}
+        assert knot_of_vertex(adj, 1) == frozenset({1, 2, 3})
+
+    def test_none_for_vertex_outside_knot(self):
+        adj = {0: [1], 1: [2], 2: [1]}
+        assert knot_of_vertex(adj, 0) is None
+        assert knot_of_vertex(adj, 1) == frozenset({1, 2})
+
+    def test_none_for_escape_cycle(self):
+        adj = {1: [2], 2: [1, 3], 3: []}
+        assert knot_of_vertex(adj, 1) is None
+
+    def test_none_for_plain_vertex(self):
+        assert knot_of_vertex({"a": []}, "a") is None
+
+    def test_self_loop(self):
+        assert knot_of_vertex({"a": ["a"]}, "a") == frozenset({"a"})

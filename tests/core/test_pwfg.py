@@ -1,0 +1,98 @@
+"""Tests for packet wait-for graphs and the connectivity premise."""
+
+from repro.core.cwg import ChannelWaitForGraph
+from repro.core.gallery import figure1_cwg, figure2_cwg, figure4_cwg
+from repro.core.knots import find_knots
+from repro.core.pwfg import (
+    is_connected_routing,
+    packet_wait_for_graph,
+    pwfg_cycle_count,
+    pwfg_knots,
+)
+from repro.network.channels import ChannelPool
+from repro.network.topology import KAryNCube, Mesh
+from repro.routing import (
+    DatelineDOR,
+    DimensionOrderRouting,
+    DuatoProtocolRouting,
+    NegativeFirstRouting,
+    TrueFullyAdaptiveRouting,
+)
+
+
+class TestPWFGConstruction:
+    def test_figure1_message_cycle(self):
+        adj = packet_wait_for_graph(figure1_cwg())
+        # m1 -> m3 -> m5 -> m1; m2 and m4 are arcless
+        assert adj[1] == [3]
+        assert adj[3] == [5]
+        assert adj[5] == [1]
+        assert adj[2] == [] and adj[4] == []
+
+    def test_figure2_includes_dependent_arc(self):
+        adj = packet_wait_for_graph(figure2_cwg())
+        assert adj[6] == [3]  # the dependent message waits on m3
+
+    def test_self_waits_excluded(self):
+        g = ChannelWaitForGraph()
+        g.add_ownership_chain(1, ["a", "b"])
+        g.add_request(1, ["a"])  # degenerate: wait on own resource
+        assert packet_wait_for_graph(g)[1] == []
+
+    def test_waits_on_free_vertex_produce_no_arc(self):
+        g = ChannelWaitForGraph()
+        g.add_ownership_chain(1, ["a"])
+        g.add_request(1, ["free"])
+        assert packet_wait_for_graph(g)[1] == []
+
+
+class TestPaperClaim:
+    def test_figure4_pwfg_has_cycles_but_no_deadlock(self):
+        """The paper's §2.3 point: packet-wait-for cycles without deadlock,
+        so forbidding PWFG cycles is overly restrictive."""
+        g = figure4_cwg()
+        assert pwfg_cycle_count(g).count >= 1  # message-level cycles exist
+        assert find_knots(g.adjacency()) == []  # yet no channel-level knot
+
+    def test_figure1_pwfg_knot_matches_deadlock(self):
+        g = figure1_cwg()
+        knots = pwfg_knots(g)
+        assert knots == [frozenset({1, 3, 5})]  # the true deadlock set
+
+    def test_pwfg_is_coarser_than_cwg(self):
+        """Figure 4 again: the PWFG may even contain a knot while the CWG
+        (the exact criterion) does not — message granularity cannot see
+        unexhausted routing alternatives."""
+        g = figure4_cwg()
+        # regardless of whether the PWFG has a knot here, the CWG verdict
+        # (no deadlock) is the authoritative one
+        assert find_knots(g.adjacency()) == []
+
+
+class TestConnectivity:
+    def test_all_builtin_torus_routers_connected(self):
+        torus = KAryNCube(4, 2)
+        for routing, vcs in (
+            (DimensionOrderRouting(), 1),
+            (TrueFullyAdaptiveRouting(), 1),
+            (DatelineDOR(), 2),
+            (DuatoProtocolRouting(), 3),
+        ):
+            pool = ChannelPool(torus, vcs, 2)
+            assert is_connected_routing(routing, torus, pool), routing.name
+
+    def test_turn_model_connected_on_mesh(self):
+        mesh = Mesh(4, 2)
+        pool = ChannelPool(mesh, 1, 2)
+        assert is_connected_routing(NegativeFirstRouting(), mesh, pool)
+
+    def test_disconnected_relation_detected(self):
+        class BrokenRouting(DimensionOrderRouting):
+            def candidates(self, message, node, topology, pool):
+                if node == 5:
+                    return []  # drops candidates at node 5
+                return super().candidates(message, node, topology, pool)
+
+        torus = KAryNCube(4, 2)
+        pool = ChannelPool(torus, 1, 2)
+        assert not is_connected_routing(BrokenRouting(), torus, pool)

@@ -1,0 +1,110 @@
+"""Smoke + shape tests for the design-choice ablations (tiny scale)."""
+
+from repro.experiments import ablations
+
+SHORT = dict(measure_cycles=1000, warmup_cycles=150)
+
+
+class TestTeardownAblation:
+    def test_both_modes_run(self):
+        res = ablations.run_teardown(scale="tiny", loads=[1.0], **SHORT)
+        assert set(res.sweeps) == {"instant", "flit-by-flit"}
+        assert res.observations["instant_peak_throughput"] > 0
+        assert res.observations["flit-by-flit_peak_throughput"] > 0
+
+    def test_deadlock_counts_comparable(self):
+        """Teardown fidelity must not change deadlock formation wildly."""
+        res = ablations.run_teardown(scale="tiny", loads=[1.0], **SHORT)
+        a = res.observations["instant_total_deadlocks"]
+        b = res.observations["flit-by-flit_total_deadlocks"]
+        if a + b > 10:
+            assert 0.2 <= (a + 1) / (b + 1) <= 5.0
+
+
+class TestSelectionAblation:
+    def test_runs(self):
+        res = ablations.run_selection(scale="tiny", loads=[0.8], **SHORT)
+        assert set(res.sweeps) == {"straight", "random"}
+        assert res.observations["straight_mean_latency"] > 0
+
+
+class TestDetectionIntervalAblation:
+    def test_interval_sweep(self):
+        res = ablations.run_detection_interval(
+            scale="tiny", load=1.0, intervals=(25, 400), **SHORT
+        )
+        assert set(res.sweeps) == {"interval=25", "interval=400"}
+        # more frequent detection finds (and breaks) at least as many knots
+        assert (
+            res.observations["i25_deadlocks"]
+            >= res.observations["i400_deadlocks"] * 0.3
+        )
+
+
+class TestTimeoutModeAblation:
+    def test_timeout_end_to_end(self):
+        res = ablations.run_timeout_mode(
+            scale="tiny", load=1.0, thresholds=(75, 600), **SHORT
+        )
+        assert "true-detection" in res.sweeps
+        assert "timeout=75" in res.sweeps
+        obs = res.observations
+        # aggressive threshold recovers at least as often as patient one
+        assert obs["t75_recoveries"] >= obs["t600_recoveries"]
+        # unnecessary recoveries never exceed total recoveries
+        for t in (75, 600):
+            assert obs[f"t{t}_unnecessary"] <= obs[f"t{t}_recoveries"]
+
+
+class TestMessageLengthAblation:
+    def test_runs_and_reports(self):
+        from repro.experiments import ablations
+
+        res = ablations.run_message_length(
+            scale="tiny", load=0.9, lengths=(2, 8), **SHORT
+        )
+        assert set(res.sweeps) == {"len=2", "len=8"}
+        assert "len2_norm_deadlocks" in res.observations
+        assert "len8_avg_resource_set" in res.observations
+
+
+class TestGranularityAblation:
+    def test_runs_and_reports(self):
+        from repro.experiments import ablations
+
+        res = ablations.run_granularity(scale="tiny", load=1.0, **SHORT)
+        obs = res.observations
+        assert obs["detections"] > 0
+        assert 0.0 <= obs["verdict_agreement_rate"] <= 1.0
+        # PWFG knots can only over-report relative to truth
+        assert (
+            obs["pwfg_knotted_detections"]
+            >= obs["true_deadlocked_detections"]
+            or obs["pwfg_knotted_detections"] == 0
+        )
+
+
+class TestFaultAblation:
+    def test_runs_with_fault_series(self):
+        from repro.experiments import ablations
+
+        res = ablations.run_faults(
+            scale="tiny", load=0.8, fault_counts=(0, 2), **SHORT
+        )
+        assert "faults=0" in res.sweeps
+        assert "faults=2" in res.sweeps
+        assert "f0_blocked_pct" in res.observations
+        assert "f2_blocked_pct" in res.observations
+
+
+class TestArbitrationAblation:
+    def test_runs_all_policies(self):
+        from repro.experiments import ablations
+
+        res = ablations.run_arbitration(
+            scale="tiny", load=1.0, policies=("random", "oldest-first"),
+            **SHORT,
+        )
+        assert set(res.sweeps) == {"random", "oldest-first"}
+        assert res.observations["random_throughput"] > 0
+        assert res.observations["oldest-first_max_blocked"] >= 0

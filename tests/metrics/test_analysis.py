@@ -1,0 +1,111 @@
+"""Tests for post-hoc analysis of detection records."""
+
+import pytest
+
+from repro.core.cycles import CycleCount
+from repro.core.detector import DeadlockEvent, DetectionRecord
+from repro.metrics.analysis import (
+    analyze_records,
+    blocked_vs_cycles_series,
+    deadlock_probability_given_cycles,
+    interarrival_times,
+)
+
+
+def event(cycle, dset=3, rset=8, density=1, dependents=()):
+    return DeadlockEvent(
+        cycle=cycle,
+        knot=frozenset(range(rset)),
+        deadlock_set=frozenset(range(dset)),
+        resource_set=frozenset(range(rset)),
+        knot_cycle_density=density,
+        density_saturated=False,
+        dependent=frozenset(dependents),
+        transient_dependent=frozenset(),
+    )
+
+
+def record(cycle, events=(), blocked=0, cycles=0):
+    return DetectionRecord(
+        cycle=cycle,
+        events=list(events),
+        cwg_vertices=10,
+        cwg_arcs=10,
+        blocked_messages=blocked,
+        messages_in_network=max(blocked, 1),
+        cycle_count=CycleCount(cycles, False),
+    )
+
+
+def test_interarrival_times():
+    records = [
+        record(50),
+        record(100, [event(100)]),
+        record(150),
+        record(200, [event(200)]),
+        record(250, [event(250)]),
+    ]
+    assert interarrival_times(records) == [100, 50]
+
+
+def test_analysis_aggregates():
+    records = [
+        record(50, [event(50, dset=2, rset=4, density=1)], blocked=5, cycles=2),
+        record(100, blocked=1, cycles=0),
+        record(150, [event(150, dset=6, rset=12, density=5,
+                           dependents=(9, 10))], blocked=9, cycles=8),
+    ]
+    a = analyze_records(records)
+    assert a.detections == 3
+    assert a.detections_with_deadlock == 2
+    assert a.total_deadlocks == 2
+    assert a.mean_deadlock_set == 4.0
+    assert a.mean_resource_set == 8.0
+    assert a.mean_knot_density == 3.0
+    assert a.max_knot_density == 5
+    assert a.single_cycle_fraction == 0.5
+    assert a.mean_dependents_per_deadlock == 1.0
+    assert a.mean_interarrival == 100.0
+    # blocked and cycles rise together here: strong positive correlation
+    assert a.blocked_cycle_correlation > 0.9
+    assert "2 deadlocks" in a.summary()
+
+
+def test_analysis_of_empty_records():
+    a = analyze_records([])
+    assert a.total_deadlocks == 0
+    assert a.mean_interarrival == 0.0
+    assert a.blocked_cycle_correlation == 0.0
+
+
+def test_probability_given_cycles():
+    records = [
+        record(50, cycles=0),
+        record(100, [event(100)], cycles=10),
+        record(150, cycles=10),
+        record(200, [event(200)], cycles=120),
+    ]
+    p = deadlock_probability_given_cycles(records, thresholds=(1, 100, 1000))
+    assert p[1] == pytest.approx(2 / 3)
+    assert p[100] == 1.0
+    assert p[1000] != p[1000]  # NaN: no eligible detections
+
+
+def test_blocked_vs_cycles_series():
+    records = [record(50, blocked=3, cycles=7), record(100, blocked=0, cycles=0)]
+    assert blocked_vs_cycles_series(records) == [(3, 7), (0, 0)]
+
+
+def test_analysis_on_real_run():
+    from repro.config import tiny_default
+    from repro.network.simulator import NetworkSimulator
+
+    cfg = tiny_default(routing="dor", num_vcs=1, load=1.0, measure_cycles=2500,
+                       seed=3)
+    sim = NetworkSimulator(cfg)
+    result = sim.run()
+    a = analyze_records(sim.detector.records)
+    assert a.total_deadlocks == len(sim.detector.events)
+    if a.total_deadlocks:
+        assert a.single_cycle_fraction == 1.0  # DOR: only single-cycle
+        assert a.mean_deadlock_set >= 2

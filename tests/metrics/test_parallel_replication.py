@@ -1,0 +1,99 @@
+"""Tests for the parallel sweep runner and multi-seed replication."""
+
+import pytest
+
+from repro.config import tiny_default
+from repro.metrics.parallel import (
+    run_load_sweep_parallel,
+    run_matrix_parallel,
+    run_point,
+)
+from repro.metrics.replication import MetricEstimate, replicate
+from repro.metrics.sweep import run_load_sweep
+
+FAST = dict(measure_cycles=400, warmup_cycles=50)
+
+
+class TestParallel:
+    def test_run_point_matches_direct(self):
+        from repro.network.simulator import NetworkSimulator
+
+        cfg = tiny_default(load=0.4, **FAST)
+        a = run_point(cfg)
+        b = NetworkSimulator(cfg).run()
+        assert a.delivered == b.delivered
+        assert a.deadlocks == b.deadlocks
+
+    def test_parallel_sweep_matches_serial(self):
+        cfg = tiny_default(**FAST)
+        loads = [0.2, 0.5]
+        serial = run_load_sweep(cfg, loads)
+        parallel = run_load_sweep_parallel(cfg, loads, max_workers=2)
+        assert parallel.loads == serial.loads
+        for a, b in zip(parallel.results, serial.results):
+            assert a.delivered == b.delivered
+            assert a.deadlocks == b.deadlocks
+            assert a.latency_sum == b.latency_sum
+
+    def test_single_worker_path(self):
+        cfg = tiny_default(**FAST)
+        sweep = run_load_sweep_parallel(cfg, [0.3], max_workers=1)
+        assert len(sweep.results) == 1
+
+    def test_matrix(self):
+        cfgs = [tiny_default(load=l, **FAST) for l in (0.2, 0.4, 0.6)]
+        results = run_matrix_parallel(cfgs, max_workers=2)
+        assert len(results) == 3
+        # results arrive in submission order
+        assert [r.config.load for r in results] == [0.2, 0.4, 0.6]
+
+
+class TestMetricEstimate:
+    def test_statistics(self):
+        e = MetricEstimate("m", (1.0, 2.0, 3.0))
+        assert e.mean == 2.0
+        assert e.std == pytest.approx(1.0)
+        lo, hi = e.ci95
+        assert lo < 2.0 < hi
+        assert "m=2" in str(e)
+
+    def test_single_sample(self):
+        e = MetricEstimate("m", (5.0,))
+        assert e.mean == 5.0
+        assert e.std == 0.0
+        lo, hi = e.ci95
+        assert lo == float("-inf") and hi == float("inf")
+
+    def test_zero_variance(self):
+        e = MetricEstimate("m", (4.0, 4.0, 4.0))
+        assert e.ci95 == (4.0, 4.0)
+
+
+class TestReplicate:
+    def test_basic_replication(self):
+        cfg = tiny_default(load=0.8, **FAST)
+        rep = replicate(cfg, seeds=[1, 2, 3])
+        assert len(rep.runs) == 3
+        assert rep["delivered"].n == 3
+        # different seeds produce different workloads
+        delivered = {r.delivered for r in rep.runs}
+        assert len(delivered) > 1
+        assert "normalized_deadlocks" in rep.summary()
+
+    def test_custom_metrics(self):
+        cfg = tiny_default(load=0.3, **FAST)
+        rep = replicate(
+            cfg, seeds=[1, 2], metrics={"thr": lambda r: float(r.delivered)}
+        )
+        assert set(rep.estimates) == {"thr"}
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(tiny_default(), seeds=[])
+
+    def test_parallel_replication_matches_serial(self):
+        cfg = tiny_default(load=0.5, **FAST)
+        serial = replicate(cfg, seeds=[7, 8])
+        parallel = replicate(cfg, seeds=[7, 8], parallel=True, max_workers=2)
+        assert serial["deadlocks"].samples == parallel["deadlocks"].samples
+        assert serial["delivered"].samples == parallel["delivered"].samples

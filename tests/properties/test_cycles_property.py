@@ -1,0 +1,67 @@
+"""Property-based tests: cycle enumeration against networkx.simple_cycles."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cycles import count_simple_cycles, enumerate_simple_cycles
+
+
+@st.composite
+def random_digraph(draw, max_nodes=8):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=max(0, n - 1)),
+                st.integers(min_value=0, max_value=max(0, n - 1)),
+            ),
+            max_size=24,
+        )
+    )
+    adj = {v: [] for v in range(n)}
+    for u, v in edges:
+        if n and v not in adj[u]:
+            adj[u].append(v)
+    return adj
+
+
+def nx_graph(adj):
+    g = nx.DiGraph()
+    g.add_nodes_from(adj)
+    for u, succs in adj.items():
+        g.add_edges_from((u, v) for v in succs)
+    return g
+
+
+def canonical(cycle):
+    """Rotation-invariant representation of a cycle's vertex sequence."""
+    i = cycle.index(min(cycle))
+    return tuple(cycle[i:] + cycle[:i])
+
+
+@given(random_digraph())
+@settings(max_examples=150, deadline=None)
+def test_count_matches_networkx(adj):
+    expected = sum(1 for _ in nx.simple_cycles(nx_graph(adj)))
+    result = count_simple_cycles(adj, limit=10_000)
+    assert not result.saturated or result.count == expected
+    assert result.count == expected
+
+
+@given(random_digraph())
+@settings(max_examples=100, deadline=None)
+def test_enumerated_cycles_match_networkx(adj):
+    expected = {canonical(c) for c in nx.simple_cycles(nx_graph(adj))}
+    cycles, saturated = enumerate_simple_cycles(adj, limit=10_000)
+    assert not saturated
+    assert {canonical(c) for c in cycles} == expected
+
+
+@given(random_digraph(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_limit_is_respected(adj, limit):
+    result = count_simple_cycles(adj, limit=limit)
+    assert result.count <= limit or not result.saturated
+    if result.saturated:
+        assert result.count >= limit

@@ -1,0 +1,91 @@
+"""Property-based tests: SCC/knot detection against a networkx oracle."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knots import (
+    find_knots,
+    knot_of_vertex,
+    strongly_connected_components,
+)
+
+
+@st.composite
+def random_digraph(draw, max_nodes=12):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=max(0, n - 1)),
+                st.integers(min_value=0, max_value=max(0, n - 1)),
+            ),
+            max_size=40,
+        )
+    )
+    adj = {v: [] for v in range(n)}
+    for u, v in edges:
+        if n and v not in adj[u]:
+            adj[u].append(v)
+    return adj
+
+
+def nx_graph(adj):
+    g = nx.DiGraph()
+    g.add_nodes_from(adj)
+    for u, succs in adj.items():
+        g.add_edges_from((u, v) for v in succs)
+    return g
+
+
+@given(random_digraph())
+@settings(max_examples=200, deadline=None)
+def test_sccs_match_networkx(adj):
+    mine = {frozenset(c) for c in strongly_connected_components(adj)}
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(nx_graph(adj))}
+    assert mine == theirs
+
+
+@given(random_digraph())
+@settings(max_examples=200, deadline=None)
+def test_knots_are_sink_sccs_with_arcs(adj):
+    g = nx_graph(adj)
+    cond = nx.condensation(g)
+    expected = set()
+    for comp_id in cond.nodes:
+        members = cond.nodes[comp_id]["members"]
+        if cond.out_degree(comp_id) == 0:
+            has_arc = len(members) > 1 or any(
+                v in adj.get(v, []) for v in members
+            )
+            if has_arc:
+                expected.add(frozenset(members))
+    assert set(find_knots(adj)) == expected
+
+
+@given(random_digraph(max_nodes=8))
+@settings(max_examples=100, deadline=None)
+def test_knot_members_reach_exactly_the_knot(adj):
+    """Every knot satisfies the textbook definition: reach(v) == knot."""
+    for knot in find_knots(adj):
+        for v in knot:
+            reachable = set(nx.descendants(nx_graph(adj), v)) | {v}
+            assert reachable == set(knot)
+
+
+@given(random_digraph(max_nodes=8))
+@settings(max_examples=100, deadline=None)
+def test_knot_of_vertex_agrees_with_find_knots(adj):
+    knots = {v: k for k in find_knots(adj) for v in k}
+    for v in adj:
+        assert knot_of_vertex(adj, v) == knots.get(v)
+
+
+@given(random_digraph())
+@settings(max_examples=100, deadline=None)
+def test_knots_are_disjoint(adj):
+    knots = find_knots(adj)
+    seen = set()
+    for k in knots:
+        assert not (seen & k)
+        seen |= k

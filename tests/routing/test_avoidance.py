@@ -1,0 +1,199 @@
+"""Tests for the deadlock-avoidance baselines.
+
+Beyond unit behaviour, these tests verify the *theoretical* deadlock-freedom
+property structurally: the channel dependency graph induced by walking every
+(source, destination) pair under the routing relation must be acyclic
+(dateline DOR, turn model) or must keep its escape sub-network acyclic
+(Duato).
+"""
+
+import pytest
+
+from repro.core.knots import strongly_connected_components
+from repro.errors import RoutingError
+from repro.network.channels import ChannelPool
+from repro.network.message import Message
+from repro.network.topology import KAryNCube, Mesh
+from repro.routing.dateline import DatelineDOR
+from repro.routing.duato import DuatoProtocolRouting
+from repro.routing.turnmodel import NegativeFirstRouting
+
+
+def msg(src, dest):
+    return Message(0, src, dest, 4, 0)
+
+
+def walk_dor_dependencies(routing, topology, pool, vc_filter=None):
+    """Channel dependency arcs induced by every (src, dest) DOR walk."""
+    arcs = set()
+    for src in range(topology.num_nodes):
+        for dest in range(topology.num_nodes):
+            if src == dest:
+                continue
+            m = msg(src, dest)
+            node = src
+            prev = None
+            while node != dest:
+                cands = routing.candidates(m, node, topology, pool)
+                if vc_filter is not None:
+                    cands = [vc for vc in cands if vc_filter(vc)]
+                cur = cands[0]  # DOR-style: single link, pick first legal VC
+                if prev is not None:
+                    arcs.add((prev.index, cur.index))
+                prev = cur
+                node = cur.link.dst
+    adj = {}
+    for u, v in arcs:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, [])
+    return adj
+
+
+def assert_acyclic(adj):
+    for comp in strongly_connected_components(adj):
+        assert len(comp) == 1, f"dependency cycle through {comp}"
+        (v,) = comp
+        assert v not in adj.get(v, []), f"self-dependency at {v}"
+
+
+class TestDatelineDOR:
+    def test_requires_two_vcs_on_torus(self):
+        topo = KAryNCube(4, 2)
+        pool = ChannelPool(topo, num_vcs=1, buffer_depth=2)
+        with pytest.raises(RoutingError):
+            DatelineDOR().validate(topo, pool)
+
+    def test_mesh_allows_single_vc(self):
+        mesh = Mesh(4, 2)
+        pool = ChannelPool(mesh, num_vcs=1, buffer_depth=2)
+        DatelineDOR().validate(mesh, pool)  # must not raise
+
+    def test_candidates_are_single_class(self):
+        topo = KAryNCube(8, 1)
+        pool = ChannelPool(topo, num_vcs=2, buffer_depth=2)
+        r = DatelineDOR()
+        # before the dateline: low class only
+        m = msg(0, 3)
+        cands = r.candidates(m, 0, topo, pool)
+        assert all(vc.vc_index == 0 for vc in cands)
+
+    def test_switches_class_after_wraparound(self):
+        topo = KAryNCube(8, 1)
+        pool = ChannelPool(topo, num_vcs=2, buffer_depth=2)
+        r = DatelineDOR()
+        m = msg(6, 1)  # 6 -> 7 -> 0 -> 1 crosses the + dateline
+        # at node 7 the next hop IS the wrap: high class
+        cands = r.candidates(m, 7, topo, pool)
+        assert all(vc.vc_index == 1 for vc in cands)
+        # at node 0 (already wrapped): still high class
+        cands = r.candidates(m, 0, topo, pool)
+        assert all(vc.vc_index == 1 for vc in cands)
+
+    def test_dependency_graph_acyclic_ring(self):
+        topo = KAryNCube(8, 1)
+        pool = ChannelPool(topo, num_vcs=2, buffer_depth=2)
+        adj = walk_dor_dependencies(DatelineDOR(), topo, pool)
+        assert_acyclic(adj)
+
+    def test_dependency_graph_acyclic_torus(self):
+        topo = KAryNCube(4, 2)
+        pool = ChannelPool(topo, num_vcs=2, buffer_depth=2)
+        adj = walk_dor_dependencies(DatelineDOR(), topo, pool)
+        assert_acyclic(adj)
+
+    def test_declared_deadlock_free(self):
+        assert DatelineDOR.deadlock_free
+
+
+class TestDuato:
+    def test_requires_three_vcs_on_torus(self):
+        topo = KAryNCube(4, 2)
+        pool = ChannelPool(topo, num_vcs=2, buffer_depth=2)
+        with pytest.raises(RoutingError):
+            DuatoProtocolRouting().validate(topo, pool)
+
+    def test_offers_adaptive_plus_escape(self):
+        topo = KAryNCube(8, 2)
+        pool = ChannelPool(topo, num_vcs=3, buffer_depth=2)
+        r = DuatoProtocolRouting()
+        m = msg(topo.node_at((0, 0)), topo.node_at((3, 3)))
+        cands = r.candidates(m, topo.node_at((0, 0)), topo, pool)
+        adaptive = [vc for vc in cands if vc.vc_index >= 2]
+        escape = [vc for vc in cands if vc.vc_index < 2]
+        assert len(adaptive) == 2  # one adaptive VC per productive link
+        assert len(escape) == 1  # exactly one escape VC
+
+    def test_adaptive_traffic_never_offered_escape_vcs_adaptively(self):
+        topo = KAryNCube(8, 2)
+        pool = ChannelPool(topo, num_vcs=4, buffer_depth=2)
+        r = DuatoProtocolRouting()
+        m = msg(topo.node_at((1, 1)), topo.node_at((6, 6)))
+        cands = r.candidates(m, topo.node_at((1, 1)), topo, pool)
+        escape_vcs = [vc for vc in cands if vc.vc_index < 2]
+        assert len(escape_vcs) == 1  # the dateline escape only
+
+    def test_escape_subnetwork_acyclic(self):
+        topo = KAryNCube(4, 2)
+        pool = ChannelPool(topo, num_vcs=3, buffer_depth=2)
+        # walking only escape VCs = dateline DOR on classes {0,1}
+        adj = walk_dor_dependencies(
+            DuatoProtocolRouting(),
+            topo,
+            pool,
+            vc_filter=lambda vc: vc.vc_index < 2,
+        )
+        assert_acyclic(adj)
+
+    def test_mesh_needs_only_two_vcs(self):
+        mesh = Mesh(4, 2)
+        pool = ChannelPool(mesh, num_vcs=2, buffer_depth=2)
+        DuatoProtocolRouting().validate(mesh, pool)  # must not raise
+
+
+class TestTurnModel:
+    def test_mesh_only(self):
+        topo = KAryNCube(4, 2)
+        pool = ChannelPool(topo, num_vcs=1, buffer_depth=2)
+        with pytest.raises(RoutingError):
+            NegativeFirstRouting().validate(topo, pool)
+
+    def test_negative_hops_first(self):
+        mesh = Mesh(4, 2)
+        pool = ChannelPool(mesh, num_vcs=1, buffer_depth=2)
+        r = NegativeFirstRouting()
+        m = msg(mesh.node_at((2, 1)), mesh.node_at((0, 3)))
+        cands = r.candidates(m, mesh.node_at((2, 1)), mesh, pool)
+        assert all(vc.link.direction == -1 for vc in cands)
+
+    def test_positive_phase_fully_adaptive(self):
+        mesh = Mesh(4, 2)
+        pool = ChannelPool(mesh, num_vcs=1, buffer_depth=2)
+        r = NegativeFirstRouting()
+        m = msg(mesh.node_at((0, 0)), mesh.node_at((2, 2)))
+        cands = r.candidates(m, mesh.node_at((0, 0)), mesh, pool)
+        assert {vc.link.dim for vc in cands} == {0, 1}
+        assert all(vc.link.direction == +1 for vc in cands)
+
+    def test_no_forbidden_turns_reachable(self):
+        """After any positive hop, no candidate ever goes negative again."""
+        mesh = Mesh(4, 2)
+        pool = ChannelPool(mesh, num_vcs=1, buffer_depth=2)
+        r = NegativeFirstRouting()
+        for src in range(mesh.num_nodes):
+            for dest in range(mesh.num_nodes):
+                if src == dest:
+                    continue
+                m = msg(src, dest)
+                node = src
+                seen_positive = False
+                hops = 0
+                while node != dest:
+                    cands = r.candidates(m, node, mesh, pool)
+                    directions = {vc.link.direction for vc in cands}
+                    if seen_positive:
+                        assert directions == {+1}
+                    if +1 in directions:
+                        seen_positive = True
+                    node = cands[0].link.dst
+                    hops += 1
+                    assert hops < 20

@@ -1,0 +1,75 @@
+"""Candidate-cache correctness: memoized sets equal fresh computations.
+
+The engine memoizes routing candidates under each relation's cache_key;
+these tests assert the key captures *all* state the candidates depend on,
+by comparing cached and fresh candidate sets over many live states.
+"""
+
+import pytest
+
+from repro.config import tiny_default
+from repro.network.simulator import NetworkSimulator
+
+
+@pytest.mark.parametrize(
+    "routing,vcs,mesh",
+    [
+        ("dor", 1, False),
+        ("tfar", 2, False),
+        ("tfar-mis", 1, False),
+        ("dor-dateline", 2, False),
+        ("duato", 3, False),
+        ("negative-first", 1, True),
+    ],
+)
+def test_cached_candidates_match_fresh(routing, vcs, mesh):
+    cfg = tiny_default(
+        routing=routing, num_vcs=vcs, mesh=mesh, load=0.8, seed=2,
+        warmup_cycles=0, measure_cycles=400,
+    )
+    sim = NetworkSimulator(cfg)
+    compared = 0
+    while sim.cycle < 400:
+        sim.step()
+        if sim.cycle % 20 != 0:
+            continue
+        for msg in sim.active_messages():
+            if not (msg.needs_next_vc and msg.header_in_newest_vc):
+                continue
+            cached = sim.route_candidates(msg)
+            fresh = sim.routing.candidates(
+                msg, msg.head_node, sim.topology, sim.pool
+            )
+            assert [vc.index for vc in cached] == [vc.index for vc in fresh]
+            compared += 1
+    assert compared > 10
+
+
+def test_cache_key_distinguishes_dateline_sources():
+    """Two messages at the same node with the same destination but
+    different sources can legally need different dateline classes; their
+    cache keys must differ."""
+    from repro.network.message import Message
+    from repro.routing.dateline import DatelineDOR
+
+    r = DatelineDOR()
+    a = Message(0, 6, 1, 4, 0)  # crosses the wrap travelling +
+    b = Message(1, 7, 1, 4, 0)
+    assert r.cache_key(a, 0) != r.cache_key(b, 0)
+
+
+def test_misrouting_key_includes_progress():
+    from repro.network.channels import ChannelPool
+    from repro.network.message import Message
+    from repro.network.topology import KAryNCube
+    from repro.routing.tfar import MisroutingTFAR
+
+    topo = KAryNCube(4, 2)
+    pool = ChannelPool(topo, 1, 2)
+    r = MisroutingTFAR(misroute_budget=1)
+    m = Message(0, 0, 2, 4, 0)
+    key_before = r.cache_key(m, 0)
+    vc = pool.vcs_of_link(topo.link_between(0, 1))[0]
+    m.acquire_vc(vc, 0)
+    key_after = r.cache_key(m, 1)
+    assert key_before != key_after

@@ -1,0 +1,97 @@
+"""Unit tests for dimension-order routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.network.channels import ChannelPool
+from repro.network.message import Message
+from repro.network.topology import KAryNCube, Mesh
+from repro.routing.dor import DimensionOrderRouting
+
+
+@pytest.fixture
+def torus():
+    return KAryNCube(8, 2)
+
+
+@pytest.fixture
+def pool(torus):
+    return ChannelPool(torus, num_vcs=2, buffer_depth=2)
+
+
+def msg(src, dest):
+    return Message(0, src, dest, 4, 0)
+
+
+class TestDOR:
+    def test_routes_lowest_dimension_first(self, torus, pool):
+        dor = DimensionOrderRouting()
+        # from (0,0) to (3,3): dim 0 must be corrected first
+        m = msg(torus.node_at((0, 0)), torus.node_at((3, 3)))
+        cands = dor.candidates(m, torus.node_at((0, 0)), torus, pool)
+        assert all(vc.link.dim == 0 for vc in cands)
+        assert all(vc.link.dst == torus.node_at((1, 0)) for vc in cands)
+
+    def test_second_dimension_after_first_resolved(self, torus, pool):
+        dor = DimensionOrderRouting()
+        m = msg(torus.node_at((0, 0)), torus.node_at((3, 3)))
+        node = torus.node_at((3, 0))  # dim 0 already aligned
+        cands = dor.candidates(m, node, torus, pool)
+        assert all(vc.link.dim == 1 for vc in cands)
+
+    def test_returns_all_vcs_of_single_link(self, torus, pool):
+        dor = DimensionOrderRouting()
+        m = msg(0, 3)
+        cands = dor.candidates(m, 0, torus, pool)
+        assert len(cands) == pool.num_vcs
+        assert len({vc.link.index for vc in cands}) == 1
+
+    def test_takes_shorter_ring_direction(self, torus, pool):
+        dor = DimensionOrderRouting()
+        m = msg(torus.node_at((0, 0)), torus.node_at((6, 0)))
+        cands = dor.candidates(m, torus.node_at((0, 0)), torus, pool)
+        assert all(vc.link.direction == -1 for vc in cands)  # 2 hops back
+
+    def test_even_radix_tie_is_static_positive(self, torus, pool):
+        dor = DimensionOrderRouting()
+        m = msg(torus.node_at((0, 0)), torus.node_at((4, 0)))  # offset k/2
+        cands = dor.candidates(m, torus.node_at((0, 0)), torus, pool)
+        assert all(vc.link.direction == +1 for vc in cands)
+
+    def test_unidirectional_always_positive(self, pool):
+        uni = KAryNCube(8, 2, bidirectional=False)
+        upool = ChannelPool(uni, num_vcs=1, buffer_depth=2)
+        dor = DimensionOrderRouting()
+        m = msg(uni.node_at((3, 0)), uni.node_at((1, 0)))  # must wrap forward
+        cands = dor.candidates(m, uni.node_at((3, 0)), uni, upool)
+        assert all(vc.link.direction == +1 for vc in cands)
+
+    def test_full_path_is_deterministic_and_minimal_per_dim(self, torus, pool):
+        dor = DimensionOrderRouting()
+        src, dest = torus.node_at((1, 2)), torus.node_at((6, 7))
+        m = msg(src, dest)
+        node, hops = src, 0
+        while node != dest:
+            cands = dor.candidates(m, node, torus, pool)
+            node = cands[0].link.dst
+            hops += 1
+            assert hops <= 32, "routing loop"
+        assert hops == torus.min_distance(src, dest)
+
+    def test_routing_at_destination_rejected(self, torus, pool):
+        dor = DimensionOrderRouting()
+        m = msg(0, 5)
+        with pytest.raises(RoutingError):
+            dor.candidates(m, 5, torus, pool)
+
+    def test_works_on_mesh(self):
+        mesh = Mesh(4, 2)
+        mpool = ChannelPool(mesh, num_vcs=1, buffer_depth=2)
+        dor = DimensionOrderRouting()
+        m = msg(mesh.node_at((3, 3)), mesh.node_at((0, 0)))
+        cands = dor.candidates(m, mesh.node_at((3, 3)), mesh, mpool)
+        assert all(vc.link.direction == -1 for vc in cands)
+        assert all(vc.link.dim == 0 for vc in cands)
+
+    def test_not_deadlock_free(self):
+        assert not DimensionOrderRouting.deadlock_free

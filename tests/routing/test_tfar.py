@@ -1,0 +1,101 @@
+"""Unit tests for true fully adaptive routing (and its misrouting variant)."""
+
+import pytest
+
+from repro.network.channels import ChannelPool
+from repro.network.message import Message
+from repro.network.topology import KAryNCube
+from repro.routing.tfar import MisroutingTFAR, TrueFullyAdaptiveRouting
+
+
+@pytest.fixture
+def torus():
+    return KAryNCube(8, 2)
+
+
+@pytest.fixture
+def pool(torus):
+    return ChannelPool(torus, num_vcs=2, buffer_depth=2)
+
+
+def msg(src, dest):
+    return Message(0, src, dest, 4, 0)
+
+
+class TestTFAR:
+    def test_offers_every_productive_link(self, torus, pool):
+        tfar = TrueFullyAdaptiveRouting()
+        m = msg(torus.node_at((0, 0)), torus.node_at((3, 3)))
+        cands = tfar.candidates(m, torus.node_at((0, 0)), torus, pool)
+        dims = {vc.link.dim for vc in cands}
+        assert dims == {0, 1}  # adaptive across both dimensions
+        assert len(cands) == 2 * pool.num_vcs
+
+    def test_offers_all_vcs_unrestricted(self, torus, pool):
+        tfar = TrueFullyAdaptiveRouting()
+        m = msg(0, torus.node_at((2, 2)))
+        cands = tfar.candidates(m, 0, torus, pool)
+        for link_index in {vc.link.index for vc in cands}:
+            link_vcs = [vc for vc in cands if vc.link.index == link_index]
+            assert len(link_vcs) == pool.num_vcs
+
+    def test_adaptivity_exhausted_single_dimension(self, torus, pool):
+        """Near the destination only one dimension remains (Figure 2)."""
+        tfar = TrueFullyAdaptiveRouting()
+        m = msg(torus.node_at((0, 0)), torus.node_at((3, 0)))
+        node = torus.node_at((2, 0))
+        cands = tfar.candidates(m, node, torus, pool)
+        assert len({vc.link.index for vc in cands}) == 1
+
+    def test_even_radix_tie_offers_both_directions(self, torus, pool):
+        tfar = TrueFullyAdaptiveRouting()
+        m = msg(torus.node_at((0, 0)), torus.node_at((4, 0)))
+        cands = tfar.candidates(m, torus.node_at((0, 0)), torus, pool)
+        assert {vc.link.direction for vc in cands} == {+1, -1}
+
+    def test_every_candidate_is_minimal(self, torus, pool):
+        tfar = TrueFullyAdaptiveRouting()
+        src, dest = torus.node_at((1, 1)), torus.node_at((5, 6))
+        m = msg(src, dest)
+        d = torus.min_distance(src, dest)
+        for vc in tfar.candidates(m, src, torus, pool):
+            assert torus.min_distance(vc.link.dst, dest) == d - 1
+
+    def test_not_deadlock_free(self):
+        assert not TrueFullyAdaptiveRouting.deadlock_free
+
+
+class TestMisroutingTFAR:
+    def test_budget_allows_nonminimal_links(self, torus, pool):
+        mis = MisroutingTFAR(misroute_budget=2)
+        src, dest = torus.node_at((0, 0)), torus.node_at((2, 0))
+        m = msg(src, dest)
+        cands = mis.candidates(m, src, torus, pool)
+        # all four outgoing links are offered, not just the productive one
+        assert len({vc.link.index for vc in cands}) == 4
+
+    def test_zero_budget_is_minimal(self, torus, pool):
+        mis = MisroutingTFAR(misroute_budget=0)
+        tfar = TrueFullyAdaptiveRouting()
+        src, dest = torus.node_at((0, 0)), torus.node_at((2, 3))
+        m = msg(src, dest)
+        a = {vc.index for vc in mis.candidates(m, src, torus, pool)}
+        b = {vc.index for vc in tfar.candidates(m, src, torus, pool)}
+        assert a == b
+
+    def test_no_uturn_candidates_when_alternatives_exist(self, torus, pool):
+        mis = MisroutingTFAR(misroute_budget=4)
+        src = torus.node_at((0, 0))
+        dest = torus.node_at((3, 3))
+        m = msg(src, dest)
+        first = mis.candidates(m, src, torus, pool)[0]
+        m.acquire_vc(first, 0)
+        first.occupancy = 1
+        node = first.link.dst
+        cands = mis.candidates(m, node, torus, pool)
+        reverse = (first.link.dst, first.link.src)
+        assert all((vc.link.src, vc.link.dst) != reverse for vc in cands)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MisroutingTFAR(misroute_budget=-1)

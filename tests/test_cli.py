@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.routing == "dor"
+        assert args.load == 0.5
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "FIG5", "--scale", "tiny"])
+        assert args.id == "FIG5"
+        assert args.scale == "tiny"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "FIG99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_simulate_runs(self, capsys):
+        rc = main(
+            [
+                "simulate", "--k", "4", "--length", "8", "--load", "0.6",
+                "--warmup", "100", "--cycles", "500",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulating" in out
+        assert "deadlocks:" in out
+
+    def test_simulate_avoidance_router(self, capsys):
+        rc = main(
+            [
+                "simulate", "--k", "4", "--routing", "duato", "--vcs", "3",
+                "--length", "8", "--load", "0.8", "--warmup", "50",
+                "--cycles", "400",
+            ]
+        )
+        assert rc == 0
+        assert "deadlocks: 0" in capsys.readouterr().out
+
+    def test_experiment_with_csv_and_chart(self, capsys, tmp_path, monkeypatch):
+        # shrink the tiny scale further for test speed via loads monkeypatch
+        import repro.experiments.fig5 as fig5_mod
+
+        monkeypatch.setattr(fig5_mod, "scaled_loads", lambda scale: [0.8])
+        csv_path = tmp_path / "out.csv"
+        rc = main(
+            ["experiment", "FIG5", "--scale", "tiny", "--csv", str(csv_path),
+             "--chart"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG5" in out
+        assert "normalized load" in out  # chart axis label
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("experiment,series,load")

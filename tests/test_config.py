@@ -1,0 +1,76 @@
+"""Unit tests for simulation configuration."""
+
+import pytest
+
+from repro.config import SimulationConfig, bench_default, paper_default, tiny_default
+from repro.errors import ConfigurationError
+
+
+def test_paper_default_matches_paper():
+    cfg = paper_default()
+    assert cfg.k == 16 and cfg.n == 2
+    assert cfg.bidirectional
+    assert cfg.message_length == 32
+    assert cfg.buffer_depth == 2
+    assert cfg.detection_interval == 50
+    assert cfg.measure_cycles == 30_000
+    assert cfg.selection == "straight"
+    cfg.validate()
+
+
+def test_bench_and_tiny_valid():
+    bench_default().validate()
+    tiny_default().validate()
+
+
+def test_replace_creates_new_config():
+    cfg = tiny_default()
+    other = cfg.replace(load=0.9)
+    assert other.load == 0.9
+    assert cfg.load != 0.9 or cfg is not other
+
+
+def test_num_nodes():
+    assert SimulationConfig(k=4, n=3).num_nodes == 64
+
+
+def test_is_cut_through():
+    assert SimulationConfig(buffer_depth=32, message_length=32).is_cut_through
+    assert not SimulationConfig(buffer_depth=2, message_length=32).is_cut_through
+
+
+def test_label_mentions_key_fields():
+    label = SimulationConfig(k=8, n=2, routing="dor", num_vcs=2).label()
+    assert "8-ary" in label and "DOR2" in label
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("k", 1),
+        ("n", 0),
+        ("num_vcs", 0),
+        ("buffer_depth", 0),
+        ("message_length", 0),
+        ("load", -0.1),
+        ("detection_interval", 0),
+        ("measure_cycles", 0),
+        ("warmup_cycles", -1),
+    ],
+)
+def test_invalid_fields_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        tiny_default(**{field: value}).validate()
+
+
+def test_mesh_constraints():
+    with pytest.raises(ConfigurationError):
+        tiny_default(mesh=True, bidirectional=False).validate()
+    with pytest.raises(ConfigurationError):
+        tiny_default(mesh=True, failed_links=((0, 1),)).validate()
+
+
+def test_config_is_frozen():
+    cfg = tiny_default()
+    with pytest.raises(Exception):
+        cfg.load = 0.7  # type: ignore[misc]

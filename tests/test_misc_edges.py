@@ -1,0 +1,110 @@
+"""Edge-case tests across small utility surfaces."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, TopologyError, RoutingError,
+                    SimulationError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ReproError, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise RoutingError("x")
+
+
+class TestFormatTableEdges:
+    def test_empty_rows(self):
+        from repro.experiments.base import format_table
+
+        table = format_table("T", ("a", "b"), [])
+        assert "T" in table and "a" in table
+
+    def test_inf_rendering(self):
+        from repro.experiments.base import format_table
+
+        table = format_table("T", ("x",), [(float("inf"),)])
+        assert "inf" in table
+
+    def test_large_float_compact(self):
+        from repro.experiments.base import format_table
+
+        table = format_table("T", ("x",), [(12345.678,)])
+        assert "12345.7" in table
+
+
+class TestSweepEdges:
+    def test_at_load_missing_raises(self):
+        from repro.config import tiny_default
+        from repro.metrics.stats import RunResult
+        from repro.metrics.sweep import SweepResult
+
+        r = RunResult(config=tiny_default(), measured_cycles=10)
+        sweep = SweepResult("t", [0.5], [r], capacity=1.0)
+        with pytest.raises(ValueError):
+            sweep.at_load(0.9)
+
+    def test_empty_sweep_properties(self):
+        from repro.metrics.sweep import SweepResult
+
+        sweep = SweepResult("t", [], [], capacity=1.0)
+        assert sweep.saturation_load is None
+        assert sweep.throughputs == []
+        assert sweep.rows() == []
+
+
+class TestSummaryEdges:
+    def test_summary_with_inf_normalized(self):
+        from repro.config import tiny_default
+        from repro.metrics.stats import RunResult
+
+        r = RunResult(config=tiny_default(), measured_cycles=10)
+        r.deadlocks = 3  # deadlocks but zero deliveries
+        assert "inf" in r.summary()
+
+    def test_label_uni_and_mesh(self):
+        from repro.config import SimulationConfig
+
+        uni = SimulationConfig(k=4, n=2, bidirectional=False)
+        assert "uni" in uni.label()
+        mesh = SimulationConfig(k=4, n=2, mesh=True, routing="negative-first")
+        assert "mesh" in mesh.label()
+
+
+class TestDescribeEventEdges:
+    def test_dependents_rendered(self):
+        from repro.core.detector import DeadlockEvent
+        from repro.viz import describe_event
+
+        event = DeadlockEvent(
+            cycle=100,
+            knot=frozenset({1, 2}),
+            deadlock_set=frozenset({10, 11}),
+            resource_set=frozenset({1, 2, 3}),
+            knot_cycle_density=2,
+            density_saturated=True,
+            dependent=frozenset({20}),
+            transient_dependent=frozenset({30}),
+        )
+        text = describe_event(event)
+        assert "multi-cycle" in text
+        assert "(capped)" in text
+        assert "[20]" in text and "[30]" in text
+
+
+class TestCycleCountRepr:
+    def test_dataclass_equality(self):
+        from repro.core.cycles import CycleCount
+
+        assert CycleCount(3, False) == CycleCount(3, False)
+        assert CycleCount(3, False) != CycleCount(3, True)

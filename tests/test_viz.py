@@ -1,0 +1,56 @@
+"""Tests for ASCII network-state rendering."""
+
+import pytest
+
+from repro.config import tiny_default
+from repro.errors import ConfigurationError
+from repro.network.simulator import NetworkSimulator
+from repro.viz import describe_event, render_knot, render_occupancy
+
+
+def run_until_deadlock(max_cycles=20_000):
+    cfg = tiny_default(routing="dor", num_vcs=1, load=1.0, seed=3,
+                       warmup_cycles=0, measure_cycles=1,
+                       detection_interval=25)
+    sim = NetworkSimulator(cfg)
+    for _ in range(max_cycles):
+        sim.step()
+        rec = sim.detector.records[-1] if sim.detector.records else None
+        if rec and rec.cycle == sim.cycle and rec.events:
+            return sim, rec.events[0]
+    pytest.skip("no deadlock formed")
+
+
+def test_render_occupancy_structure():
+    cfg = tiny_default(load=0.5, warmup_cycles=0, measure_cycles=1)
+    sim = NetworkSimulator(cfg)
+    for _ in range(200):
+        sim.step()
+    view = render_occupancy(sim)
+    lines = view.splitlines()
+    assert lines[0].startswith("cycle 200:")
+    assert len([l for l in lines if l.startswith("y=")]) == cfg.k
+    assert "x=0" in lines[-1]
+
+
+def test_render_occupancy_requires_2d():
+    cfg = tiny_default(k=2, n=3, message_length=4)
+    sim = NetworkSimulator(cfg)
+    with pytest.raises(ConfigurationError):
+        render_occupancy(sim)
+
+
+def test_render_knot_marks_involved_routers():
+    sim, event = run_until_deadlock()
+    view = render_knot(sim, event)
+    assert "[#]" in view
+    assert str(sorted(event.deadlock_set)) in view
+    assert "density" in view
+
+
+def test_describe_event_lists_characteristics():
+    sim, event = run_until_deadlock()
+    text = describe_event(event)
+    assert f"cycle {event.cycle}" in text
+    assert "knot" in text
+    assert str(sorted(event.deadlock_set)) in text

@@ -1,0 +1,151 @@
+"""Tests for trace-driven workloads."""
+
+import random
+
+import pytest
+
+from repro.config import tiny_default
+from repro.errors import ConfigurationError
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import KAryNCube
+from repro.traffic.trace import (
+    Trace,
+    TraceGenerator,
+    TraceRecord,
+    all_to_all_trace,
+    butterfly_trace,
+    stencil_trace,
+)
+
+
+@pytest.fixture
+def torus():
+    return KAryNCube(4, 2)
+
+
+class TestTraceFormat:
+    def test_parse_roundtrip(self):
+        text = "# comment\n0 0 1 4\n10 2 3 8\n"
+        trace = Trace.parse(text)
+        assert len(trace) == 2
+        assert trace.records[0] == TraceRecord(0, 0, 1, 4)
+        assert trace.total_flits == 12
+        assert trace.last_cycle == 10
+        reparsed = Trace.parse(trace.dump())
+        assert reparsed.records == trace.records
+
+    def test_records_sorted_by_cycle(self):
+        trace = Trace([TraceRecord(50, 0, 1, 1), TraceRecord(5, 1, 2, 1)])
+        assert [r.cycle for r in trace.records] == [5, 50]
+
+    def test_parse_errors(self):
+        with pytest.raises(ConfigurationError):
+            Trace.parse("1 2 3\n")  # wrong field count
+        with pytest.raises(ConfigurationError):
+            Trace.parse("a b c d\n")  # non-integer
+
+    def test_validate_rejects_bad_records(self, torus):
+        for rec in (
+            TraceRecord(-1, 0, 1, 1),
+            TraceRecord(0, 0, 99, 1),
+            TraceRecord(0, 3, 3, 1),
+            TraceRecord(0, 0, 1, 0),
+        ):
+            with pytest.raises(ConfigurationError):
+                Trace([rec]).validate(torus.num_nodes)
+
+    def test_load_from_file(self, tmp_path):
+        p = tmp_path / "t.trace"
+        p.write_text("0 0 1 4\n")
+        assert len(Trace.load(p)) == 1
+
+
+class TestTraceGenerator:
+    def test_emits_at_correct_cycles(self, torus):
+        trace = Trace([TraceRecord(2, 0, 1, 4), TraceRecord(5, 1, 2, 4)])
+        gen = TraceGenerator(torus, trace)
+        assert gen.tick(0, []) == []
+        assert gen.tick(1, []) == []
+        (m,) = gen.tick(2, [])
+        assert (m.src, m.dest) == (0, 1)
+        assert gen.tick(3, []) == []
+        (m2,) = gen.tick(5, [])
+        assert (m2.src, m2.dest) == (1, 2)
+        assert gen.exhausted
+
+    def test_catches_up_after_gap(self, torus):
+        trace = Trace([TraceRecord(1, 0, 1, 4), TraceRecord(2, 1, 2, 4)])
+        gen = TraceGenerator(torus, trace)
+        batch = gen.tick(10, [])  # both records now due
+        assert len(batch) == 2
+
+    def test_ids_unique_increasing(self, torus):
+        trace = stencil_trace(torus, iterations=2, period=10, length=2)
+        gen = TraceGenerator(torus, trace)
+        ids = [m.id for c in range(100) for m in gen.tick(c, [])]
+        assert ids == sorted(set(ids))
+
+
+class TestSyntheticTraces:
+    def test_stencil_sends_to_every_neighbour(self, torus):
+        trace = stencil_trace(torus, iterations=1, length=4)
+        # 16 nodes x 4 neighbours
+        assert len(trace) == 64
+        for r in trace:
+            assert torus.min_distance(r.src, r.dest) == 1
+
+    def test_butterfly_stage_structure(self, torus):
+        trace = butterfly_trace(torus, period=100)
+        stages = {r.cycle for r in trace}
+        assert len(stages) == 4  # log2(16)
+        for r in trace:
+            assert bin(r.src ^ r.dest).count("1") == 1
+
+    def test_butterfly_requires_power_of_two(self):
+        odd = KAryNCube(3, 2)
+        with pytest.raises(ConfigurationError):
+            butterfly_trace(odd)
+
+    def test_all_to_all_covers_every_pair(self, torus):
+        trace = all_to_all_trace(torus, period=10)
+        pairs = {(r.src, r.dest) for r in trace}
+        assert len(pairs) == 16 * 15  # every ordered pair exactly once
+
+    def test_all_to_all_shuffled(self, torus):
+        trace = all_to_all_trace(torus, rng=random.Random(0))
+        assert len(trace) > 0
+        for r in trace:
+            assert r.src != r.dest
+
+
+class TestTraceSimulation:
+    def test_stencil_trace_delivers_fully(self, torus):
+        cfg = tiny_default(routing="tfar", check_invariants=True)
+        trace = stencil_trace(torus, iterations=3, period=150, length=4)
+        sim = NetworkSimulator(cfg, trace=trace)
+        result = sim.run_to_drain(max_cycles=5_000)
+        assert result.delivered == len(trace)
+
+    def test_butterfly_trace_delivers_fully(self, torus):
+        cfg = tiny_default(routing="dor", num_vcs=2)
+        trace = butterfly_trace(torus, period=200, length=4)
+        sim = NetworkSimulator(cfg, trace=trace)
+        result = sim.run_to_drain(max_cycles=5_000)
+        assert result.delivered == len(trace)
+
+    def test_burst_all_to_all_with_recovery(self, torus):
+        """Zero-period all-to-all is maximal correlation: deadlocks may
+        form, but recovery must let every message finish (some via the
+        recovery lane)."""
+        cfg = tiny_default(routing="dor", num_vcs=1, recovery="disha")
+        trace = all_to_all_trace(torus, period=0, length=4)
+        sim = NetworkSimulator(cfg, trace=trace)
+        result = sim.run_to_drain(max_cycles=60_000)
+        assert result.delivered + result.recovered == len(trace)
+
+    def test_trace_run_stops_at_max_cycles(self, torus):
+        cfg = tiny_default(routing="dor", num_vcs=1, recovery="none")
+        trace = all_to_all_trace(torus, period=0, length=4)
+        sim = NetworkSimulator(cfg, trace=trace)
+        sim.run_to_drain(max_cycles=500)
+        assert sim.cycle <= 500
