@@ -42,6 +42,45 @@ def test_engine_four_vcs(benchmark):
     assert sim.cycle > 400
 
 
+def saturated_16ary_sim(engine_fast_path=True, warm=150):
+    """The acceptance scenario: paper-scale 16-ary 2-cube, TFAR, load 0.9.
+
+    Incremental CWG maintenance and no cycle census: the configuration the
+    activity-tracked fast path targets (detection short-circuiting plus
+    snapshot-free adjacency).  ``scripts/bench_baseline.py`` times this same
+    scenario with the fast path on and off and records the speedup in
+    ``BENCH_core.json``.
+    """
+    from repro.config import paper_default
+
+    cfg = paper_default(
+        warmup_cycles=0,
+        measure_cycles=1,
+        routing="tfar",
+        num_vcs=1,
+        load=0.9,
+        cwg_maintenance="incremental",
+        count_cycles=False,
+        engine_fast_path=engine_fast_path,
+    )
+    sim = NetworkSimulator(cfg)
+    for _ in range(warm):
+        sim.step()
+    return sim
+
+
+def test_engine_saturated_16ary_fast(benchmark):
+    sim = saturated_16ary_sim(engine_fast_path=True)
+    benchmark.pedantic(slice_of(sim, cycles=150), rounds=2, iterations=1)
+    assert sim.cycle > 150
+
+
+def test_engine_saturated_16ary_legacy(benchmark):
+    sim = saturated_16ary_sim(engine_fast_path=False)
+    benchmark.pedantic(slice_of(sim, cycles=150), rounds=2, iterations=1)
+    assert sim.cycle > 150
+
+
 def test_engine_paper_scale_slice(benchmark):
     """One 100-cycle slice of the paper's true 16-ary 2-cube (256 nodes)."""
     from repro.config import paper_default

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full test suite plus a quick benchmark smoke.
+#
+#   scripts/ci_check.sh
+#
+# 1. runs the test suite exactly as the roadmap's tier-1 command does;
+# 2. regenerates the benchmark numbers in quick mode and fails when
+#    cycles/sec regressed >20% against the committed BENCH_core.json
+#    (or when the fast-path speedup fell below the 2x acceptance bar).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+
+echo "== benchmark smoke (vs committed BENCH_core.json) =="
+python scripts/bench_baseline.py --check
+
+echo "ci_check: OK"

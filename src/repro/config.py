@@ -71,6 +71,10 @@ class SimulationConfig:
     measure_cycles: int = 30_000  #: measured cycles (paper: 30,000 past steady state)
     seed: int = 1  #: RNG seed (runs are fully deterministic given the seed)
     check_invariants: bool = False  #: run conservation checks every cycle (slow)
+    #: incremental activity tracking in the engine hot path plus detection
+    #: short-circuiting.  Bit-identical to the legacy full-rescan path (same
+    #: seed -> same RunResult); off selects the legacy path for A/B tests.
+    engine_fast_path: bool = True
 
     def validate(self) -> None:
         if self.k < 2:

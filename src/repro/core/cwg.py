@@ -27,12 +27,62 @@ from typing import Hashable, Iterable, Mapping
 
 from repro.errors import SimulationError
 
-__all__ = ["ChannelWaitForGraph"]
+__all__ = ["WaitGraphQueries", "ChannelWaitForGraph"]
 
 Vertex = Hashable
 
 
-class ChannelWaitForGraph:
+class WaitGraphQueries:
+    """Read-only wait-graph queries shared by snapshot and live graphs.
+
+    Everything here is defined purely in terms of the ``owner`` /
+    ``chains`` / ``requests`` mappings, so :class:`ChannelWaitForGraph`
+    (an immutable snapshot) and
+    :class:`~repro.core.incremental.IncrementalCWG` (the event-maintained
+    live state) answer them identically — which is what lets the detector
+    query the live tracker directly instead of materializing a snapshot.
+    """
+
+    owner: Mapping[Vertex, int | None]
+    chains: Mapping[int, list[Vertex]]
+    requests: Mapping[int, list[Vertex]]
+
+    @property
+    def num_arcs(self) -> int:
+        solid = sum(len(c) - 1 for c in self.chains.values())
+        dashed = sum(len(t) for t in self.requests.values())
+        return solid + dashed
+
+    def blocked_messages(self) -> list[int]:
+        """Messages with outstanding dashed arcs."""
+        return list(self.requests)
+
+    def fan_out(self, message: int) -> int:
+        """Number of alternatives a blocked message waits on (dashed arcs).
+
+        The paper observes that vertex fan-out — set by routing adaptivity
+        and the VC count — governs how many unique cycles can form.
+        """
+        return len(self.requests.get(message, ()))
+
+    def messages_owning(self, vertices: Iterable[Vertex]) -> set[int]:
+        """Distinct owners of the given vertices (ignoring free vertices)."""
+        out = set()
+        for v in vertices:
+            o = self.owner.get(v)
+            if o is not None:
+                out.add(o)
+        return out
+
+    def resources_of(self, messages: Iterable[int]) -> set[Vertex]:
+        """Every vertex owned by any of the given messages."""
+        out: set[Vertex] = set()
+        for m in messages:
+            out.update(self.chains.get(m, ()))
+        return out
+
+
+class ChannelWaitForGraph(WaitGraphQueries):
     """A snapshot wait-for graph over channel resources."""
 
     def __init__(self) -> None:
@@ -127,40 +177,6 @@ class ChannelWaitForGraph:
         for message, targets in self.requests.items():
             src = self.request_from[message]
             out.extend((src, t, message) for t in targets)
-        return out
-
-    @property
-    def num_arcs(self) -> int:
-        solid = sum(len(c) - 1 for c in self.chains.values())
-        dashed = sum(len(t) for t in self.requests.values())
-        return solid + dashed
-
-    def blocked_messages(self) -> list[int]:
-        """Messages with outstanding dashed arcs."""
-        return list(self.requests)
-
-    def fan_out(self, message: int) -> int:
-        """Number of alternatives a blocked message waits on (dashed arcs).
-
-        The paper observes that vertex fan-out — set by routing adaptivity
-        and the VC count — governs how many unique cycles can form.
-        """
-        return len(self.requests.get(message, ()))
-
-    def messages_owning(self, vertices: Iterable[Vertex]) -> set[int]:
-        """Distinct owners of the given vertices (ignoring free vertices)."""
-        out = set()
-        for v in vertices:
-            o = self.owner.get(v)
-            if o is not None:
-                out.add(o)
-        return out
-
-    def resources_of(self, messages: Iterable[int]) -> set[Vertex]:
-        """Every vertex owned by any of the given messages."""
-        out: set[Vertex] = set()
-        for m in messages:
-            out.update(self.chains.get(m, ()))
         return out
 
     def to_dot(self) -> str:

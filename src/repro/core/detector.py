@@ -77,6 +77,10 @@ class DetectionRecord:
     #: (message id, cycles spent blocked, in a deadlock set?) per blocked
     #: message — raw material for timeout-heuristic comparisons.
     blocked_durations: list[tuple[int, int, bool]] = field(default_factory=list)
+    #: in timeout mode: ids of the engine-blocked messages at this instant
+    #: (``sim.blocked_messages()`` equivalent), so the recovery step reuses
+    #: the detector's enumeration instead of rescanning the population
+    blocked_ids: Optional[tuple[int, ...]] = None
 
     @property
     def has_deadlock(self) -> bool:
@@ -101,6 +105,11 @@ class DeadlockDetector:
         self.record_blocked_durations = record_blocked_durations
         self.records: list[DetectionRecord] = []
         self.events: list[DeadlockEvent] = []
+        # short-circuit cache: last full pass and the blocked epoch it saw
+        self._sc_sim: Optional["NetworkSimulator"] = None
+        self._sc_epoch = -1
+        self._sc_record: Optional[DetectionRecord] = None
+        self._sc_blocked: list[int] = []
 
     # -- CWG construction ------------------------------------------------------------
     @staticmethod
@@ -145,9 +154,30 @@ class DeadlockDetector:
 
     # -- detection ---------------------------------------------------------------------
     def detect(self, sim: "NetworkSimulator") -> DetectionRecord:
-        """Run one detection pass and append its record."""
+        """Run one detection pass and append its record.
+
+        With the engine's fast path, a pass is **short-circuited** when the
+        simulator's ``blocked_epoch`` has not advanced since the previous
+        pass and that pass found no deadlock: the epoch counts every
+        ownership change and blocked-set transition, so an unchanged epoch
+        means an unchanged CWG — same (empty) knot set, same vertex/arc/
+        blocked counts, same cycle census.  Only the per-message blocked
+        durations (which depend on the current cycle) are refreshed.  A
+        pass that *found* a deadlock is never short-circuited: a persisting
+        knot must be re-reported every interval, exactly as the full pass
+        would.
+        """
         cycle = sim.cycle
-        g = sim.cwg_snapshot()
+        if (
+            self._sc_record is not None
+            and not self._sc_record.events
+            and self._sc_sim is sim
+            and getattr(sim, "fast_path", False)
+            and not getattr(sim, "_uncacheable_routing", True)
+            and sim.blocked_epoch == self._sc_epoch
+        ):
+            return self._detect_unchanged(sim, cycle)
+        g = sim.cwg_view() if hasattr(sim, "cwg_view") else sim.cwg_snapshot()
         adjacency = g.adjacency()
         knots = find_knots(adjacency)
 
@@ -181,26 +211,81 @@ class DeadlockDetector:
                 adjacency, limit=self.max_cycles_counted
             )
 
+        blocked_list = g.blocked_messages()
         blocked_durations: list[tuple[int, int, bool]] = []
         if self.record_blocked_durations:
-            for mid in g.blocked_messages():
+            for mid in blocked_list:
                 msg = sim.message_by_id(mid)
                 since = msg.blocked_since
                 duration = cycle - since if since is not None else 0
                 blocked_durations.append((mid, duration, mid in all_deadlocked))
+
+        blocked_ids: Optional[tuple[int, ...]] = None
+        if sim.config.detection_mode == "timeout":
+            # The engine's blocked_messages() additionally drops a message
+            # whose awaited reception channel freed after its last attempt;
+            # apply the same filter so recovery sees an identical pool.
+            ids = []
+            for mid in blocked_list:
+                msg = sim.message_by_id(mid)
+                if (
+                    msg.needs_reception
+                    and sim.pool.free_reception(msg.dest) is not None
+                ):
+                    continue
+                ids.append(mid)
+            blocked_ids = tuple(ids)
 
         record = DetectionRecord(
             cycle=cycle,
             events=events,
             cwg_vertices=g.num_vertices,
             cwg_arcs=g.num_arcs,
-            blocked_messages=len(g.blocked_messages()),
+            blocked_messages=len(blocked_list),
             messages_in_network=sim.messages_in_network,
             cycle_count=cycle_count,
             blocked_durations=blocked_durations,
+            blocked_ids=blocked_ids,
         )
         self.records.append(record)
         self.events.extend(events)
+        self._sc_sim = sim
+        self._sc_epoch = getattr(sim, "blocked_epoch", -1)
+        self._sc_record = record
+        self._sc_blocked = blocked_list
+        return record
+
+    def _detect_unchanged(
+        self, sim: "NetworkSimulator", cycle: int
+    ) -> DetectionRecord:
+        """Record a short-circuited pass (CWG unchanged, no deadlock).
+
+        Structure-derived fields are copied from the cached record; only
+        the blocked durations advance with the clock.  ``blocked_ids`` is
+        reused as-is: reception-channel freeness is epoch-stable too (every
+        acquire/release bumps the epoch).
+        """
+        prev = self._sc_record
+        blocked_durations: list[tuple[int, int, bool]] = []
+        if self.record_blocked_durations:
+            for mid in self._sc_blocked:
+                msg = sim.message_by_id(mid)
+                since = msg.blocked_since
+                duration = cycle - since if since is not None else 0
+                blocked_durations.append((mid, duration, False))
+        record = DetectionRecord(
+            cycle=cycle,
+            events=[],
+            cwg_vertices=prev.cwg_vertices,
+            cwg_arcs=prev.cwg_arcs,
+            blocked_messages=prev.blocked_messages,
+            messages_in_network=prev.messages_in_network,
+            cycle_count=prev.cycle_count,
+            blocked_durations=blocked_durations,
+            blocked_ids=prev.blocked_ids,
+        )
+        self.records.append(record)
+        self._sc_record = record
         return record
 
     def _knot_density(self, sub: dict) -> CycleCount:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
-from repro.core.cwg import ChannelWaitForGraph
+from repro.core.cwg import ChannelWaitForGraph, WaitGraphQueries
 from repro.errors import SimulationError
 
 __all__ = ["IncrementalCWG"]
@@ -35,8 +35,14 @@ __all__ = ["IncrementalCWG"]
 Vertex = Hashable
 
 
-class IncrementalCWG:
-    """Event-maintained wait-for graph state."""
+class IncrementalCWG(WaitGraphQueries):
+    """Event-maintained wait-for graph state.
+
+    Inherits the read-only queries of
+    :class:`~repro.core.cwg.WaitGraphQueries`, so the detector can analyse
+    the live tracker directly (vertex/arc counts, blocked set, ownership
+    closure, adjacency) without materializing a snapshot first.
+    """
 
     def __init__(self) -> None:
         self.chains: dict[int, list[Vertex]] = {}
@@ -90,6 +96,23 @@ class IncrementalCWG:
         self.requests.pop(message, None)
 
     # -- views ------------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count of the equivalent snapshot graph.
+
+        The snapshot registers request targets as (possibly free) vertices;
+        the live ``owner`` map only holds owned ones, so free targets are
+        counted separately here to keep the two views interchangeable.
+        """
+        extra = 0
+        seen: set[Vertex] = set()
+        for targets in self.requests.values():
+            for t in targets:
+                if t not in self.owner and t not in seen:
+                    seen.add(t)
+                    extra += 1
+        return len(self.owner) + extra
+
     def snapshot(self) -> ChannelWaitForGraph:
         """An immutable :class:`ChannelWaitForGraph` of the current state."""
         g = ChannelWaitForGraph()

@@ -249,11 +249,13 @@ class StatsCollector:
         # Use the population captured at the detection instant (before any
         # recovery removals) so blocked fractions stay in [0, 1].
         in_net = record.messages_in_network
-        for m in sim.active_messages():
-            if m.blocked_since is not None:
-                stretch = record.cycle - m.blocked_since
-                if stretch > r.max_blocked_duration:
-                    r.max_blocked_duration = stretch
+        # waiting_messages() is exactly the blocked_since-bearing subset of
+        # the population; the fast path maintains it incrementally so this
+        # is not a full-population scan there
+        for m in sim.waiting_messages():
+            stretch = record.cycle - m.blocked_since
+            if stretch > r.max_blocked_duration:
+                r.max_blocked_duration = stretch
         r.blocked_samples.append(record.blocked_messages)
         r.blocked_fraction_samples.append(
             record.blocked_messages / in_net if in_net else 0.0

@@ -37,13 +37,22 @@ class VirtualChannel:
     the HPC guidance of minimizing per-event allocation.
     """
 
-    __slots__ = ("index", "link", "vc_index", "capacity", "occupancy", "owner")
+    __slots__ = (
+        "index",
+        "link",
+        "link_index",
+        "vc_index",
+        "capacity",
+        "occupancy",
+        "owner",
+    )
 
     def __init__(
         self, index: int, link: PhysicalLink, vc_index: int, capacity: int
     ) -> None:
         self.index = index  # dense global id across the network
         self.link = link
+        self.link_index = link.index  # denormalized for the movement hot loop
         self.vc_index = vc_index  # 0..num_vcs-1 within the physical link
         self.capacity = capacity
         self.occupancy = 0  # flits currently queued in the edge buffer
@@ -162,6 +171,12 @@ class ChannelPool:
             [ReceptionChannel(node, i) for i in range(rx_channels)]
             for node in range(topology.num_nodes)
         ]
+        # CWG vertex keys of each node's reception channels, precomputed so
+        # the engine and detector do not rebuild them on every blocked wait.
+        self._rx_request_keys: list[list[tuple]] = [
+            [("rx", node, i) for i in range(rx_channels)]
+            for node in range(topology.num_nodes)
+        ]
 
     @property
     def reception(self) -> list[ReceptionChannel]:
@@ -171,9 +186,16 @@ class ChannelPool:
     def free_reception(self, node: int) -> Optional[ReceptionChannel]:
         """A free reception channel at ``node``, if any."""
         for rx in self.reception_groups[node]:
-            if rx.is_free:
+            if rx.owner is None:
                 return rx
         return None
+
+    def reception_request_keys(self, node: int) -> list[tuple]:
+        """CWG request targets for a message waiting on ``node``'s reception.
+
+        The returned list is shared — callers must not mutate it.
+        """
+        return self._rx_request_keys[node]
 
     def vcs_of_link(self, link: PhysicalLink) -> list[VirtualChannel]:
         return self._link_vcs[link.index]

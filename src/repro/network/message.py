@@ -54,6 +54,10 @@ class Message:
         "blocked_since",
         "recovering",
         "head_arrival",
+        "routable",
+        "stalled",
+        "immobile",
+        "wait_keys",
     )
 
     def __init__(
@@ -79,6 +83,17 @@ class Message:
         self.blocked_since: Optional[int] = None  # cycle the header last blocked
         self.recovering = False  # being torn out of the network flit-by-flit
         self.head_arrival: Optional[int] = None  # cycle header entered newest VC
+        # -- engine fast-path activity flags (maintained by the simulator) --
+        # ``routable`` mirrors NetworkSimulator.routing_eligible at phase
+        # boundaries; ``stalled`` marks a blocked header none of whose awaited
+        # resources has freed since its last failed allocation attempt;
+        # ``immobile`` marks a fully-compressed worm that provably cannot
+        # move a flit until it acquires a new resource; ``wait_keys`` lists
+        # the resource keys this message is registered as waiting on.
+        self.routable = False
+        self.stalled = False
+        self.immobile = False
+        self.wait_keys: Optional[tuple] = None
 
     # -- position & status queries ------------------------------------------------
     @property

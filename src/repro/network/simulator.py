@@ -18,6 +18,37 @@ four phases:
 
 The engine enforces exclusive VC ownership and flit conservation; with
 ``check_invariants`` enabled these are asserted every cycle.
+
+Activity-tracked hot path
+-------------------------
+
+With ``engine_fast_path`` (the default) the engine maintains live activity
+state at resource transitions instead of rescanning ``self.active`` every
+cycle:
+
+* every message carries a ``routable`` flag mirroring
+  :meth:`routing_eligible`, updated when its header crosses into a new VC,
+  when it acquires a resource, and when recovery touches it — the
+  allocation phase builds its request list from the flag instead of
+  re-deriving eligibility per message per cycle;
+* a blocked header whose candidate set is position-pure registers in a
+  *wake index* (resource key → waiting message ids) and is marked
+  ``stalled``; its allocation attempt is skipped entirely until one of the
+  awaited resources is released, which provably cannot change the outcome
+  (an all-owned candidate set yields no free VC and consumes no RNG);
+* a fully-compressed worm (every owned edge buffer full, header blocked)
+  is marked ``immobile`` and skipped by the movement phase until it
+  acquires a new resource — no flit of such a worm can move;
+* a monotone ``blocked_epoch`` counts ownership and blocked-set
+  transitions, letting :class:`~repro.core.detector.DeadlockDetector`
+  short-circuit a detection pass when nothing the CWG depends on changed.
+
+The fast path is bit-identical to the legacy path: the same seed produces
+the same :class:`~repro.metrics.stats.RunResult` and the same deadlock
+event sequence (asserted by ``tests/integration/
+test_fast_path_equivalence.py``).  Messages skipped by either flag are
+still placed in the per-phase service-order lists, so arbitration consumes
+an identical RNG stream.
 """
 
 from __future__ import annotations
@@ -39,6 +70,10 @@ from repro.routing import make_routing, make_selection
 from repro.traffic import LengthMix, MessageGenerator, make_pattern
 
 __all__ = ["NetworkSimulator", "build_topology"]
+
+# phase indices for per-phase round-robin arbitration state
+_PHASE_ALLOC = 0
+_PHASE_MOVE = 1
 
 
 def build_topology(config: SimulationConfig) -> Topology:
@@ -118,8 +153,24 @@ class NetworkSimulator:
         self.active: dict[int, Message] = {}
         self._live: dict[int, Message] = {}  # queued + active, by id
         self._link_used = bytearray(self.topology.num_links)
-        self._rr_offset = 0  # rotating start for round-robin arbitration
+        self._zero_links = bytes(self.topology.num_links)
+        # per-phase monotone round-robin counters (allocation, movement)
+        self._rr_counters = [0, 0]
         self._candidate_cache: dict = {}
+        self._router_delay = config.router_delay
+
+        # -- fast-path activity state -----------------------------------------
+        self.fast_path = bool(config.engine_fast_path)
+        #: monotone counter of ownership / blocked-set transitions; the
+        #: detector short-circuits a pass when it has not advanced
+        self.blocked_epoch = 0
+        self._waiting: dict[int, Message] = {}  # blocked_since set, by id
+        self._wake_index: dict = {}  # resource key -> set of waiting ids
+        self._delay_due: deque[tuple[int, Message]] = deque()  # router_delay
+        #: set True the first time the routing relation declines memoization
+        #: (cache_key None); disables stall-skipping and detector
+        #: short-circuiting, whose proofs rely on position-pure candidates
+        self._uncacheable_routing = False
 
     # -- queries used by the detector and tests -----------------------------------
     def active_messages(self) -> Iterable[Message]:
@@ -139,6 +190,19 @@ class NetworkSimulator:
             return self.tracker.snapshot()
         return DeadlockDetector.build_cwg(self)
 
+    def cwg_view(self):
+        """Wait-graph *queries* for the detector.
+
+        With the fast path and incremental maintenance this returns the
+        live :class:`~repro.core.incremental.IncrementalCWG` itself — it
+        answers every query the detector needs (adjacency, ownership,
+        blocked set) without materializing a snapshot graph.  Otherwise it
+        falls back to :meth:`cwg_snapshot`.
+        """
+        if self.tracker is not None and self.fast_path:
+            return self.tracker
+        return self.cwg_snapshot()
+
     def route_candidates(self, message: Message) -> list[VirtualChannel]:
         """The routing relation's candidate VCs for a message's next hop.
 
@@ -150,6 +214,7 @@ class NetworkSimulator:
         node = message.head_node
         key = self.routing.cache_key(message, node)
         if key is None:
+            self._uncacheable_routing = True
             return self.routing.candidates(message, node, self.topology, self.pool)
         cached = self._candidate_cache.get(key)
         if cached is None:
@@ -178,7 +243,7 @@ class NetworkSimulator:
             return False
         if not message.header_in_newest_vc and message.vcs:
             return False
-        delay = self.config.router_delay
+        delay = self._router_delay
         if delay and message.vcs:
             arrived = message.head_arrival
             if arrived is None or self.cycle - arrived < delay:
@@ -197,13 +262,30 @@ class NetworkSimulator:
                 out.append(m)
         return out
 
-    def _service_order(self, messages: list[Message]) -> list[Message]:
+    def waiting_messages(self) -> Iterable[Message]:
+        """Active messages with a failed allocation outstanding.
+
+        Exactly the messages whose ``blocked_since`` is set.  The fast path
+        maintains this set at state transitions; the legacy path derives it
+        by scanning.  Used by statistics (starvation tracking) so the
+        per-detection full-population scan disappears from the fast path.
+        """
+        if self.fast_path:
+            return self._waiting.values()
+        return [m for m in self.active.values() if m.blocked_since is not None]
+
+    def _service_order(
+        self, messages: list[Message], phase: int = _PHASE_ALLOC
+    ) -> list[Message]:
         """Order in which competing messages are served this cycle.
 
         ``random`` (default) draws a fresh permutation per cycle — fair in
         expectation.  ``oldest-first`` gives strict age priority (smallest
         id first), which bounds starvation but can convoy.  ``round-robin``
-        rotates the starting message each cycle.
+        rotates the starting message each cycle, independently per phase:
+        each phase advances its own monotone counter exactly once per cycle,
+        so rotation is fair regardless of how the two phases' list lengths
+        differ.
         """
         policy = self.config.arbitration
         if policy == "oldest-first":
@@ -212,10 +294,88 @@ class NetworkSimulator:
             if not messages:
                 return messages
             ordered = sorted(messages, key=lambda m: m.id)
-            self._rr_offset = (self._rr_offset + 1) % len(ordered)
-            return ordered[self._rr_offset:] + ordered[: self._rr_offset]
+            self._rr_counters[phase] += 1
+            offset = self._rr_counters[phase] % len(ordered)
+            return ordered[offset:] + ordered[:offset]
         self.rng.shuffle(messages)
         return messages
+
+    # -- fast-path bookkeeping -----------------------------------------------------
+    def _begin_wait(self, msg: Message, keys: Optional[tuple]) -> None:
+        """Record a failed allocation attempt in the activity state.
+
+        ``keys`` carries the awaited resource keys on the *first* failure at
+        this position (None when the candidate set is not position-pure);
+        later failures find the registration already in place.  A message
+        with registered keys is marked ``stalled`` and skipped by the
+        allocation phase until one of them is released.
+        """
+        self._waiting[msg.id] = msg
+        if keys is not None and msg.wait_keys is None:
+            msg.wait_keys = keys
+            index = self._wake_index
+            for key in keys:
+                waiters = index.get(key)
+                if waiters is None:
+                    index[key] = waiters = set()
+                waiters.add(msg.id)
+        if msg.wait_keys is not None:
+            msg.stalled = True
+
+    def _end_wait(self, msg: Message) -> None:
+        """Drop the message from the waiting set and the wake index."""
+        self._waiting.pop(msg.id, None)
+        self._drop_wait_keys(msg)
+
+    def _drop_wait_keys(self, msg: Message) -> None:
+        """Invalidate the stall registration (the message stays blocked).
+
+        Used on its own when a blocked message's *tail* releases a VC: the
+        chain length enters some relations' candidate keys (misrouting
+        budgets), so the awaited set must be recomputed at the next attempt.
+        """
+        keys = msg.wait_keys
+        if keys is not None:
+            index = self._wake_index
+            for key in keys:
+                waiters = index.get(key)
+                if waiters is not None:
+                    waiters.discard(msg.id)
+                    if not waiters:
+                        del index[key]
+            msg.wait_keys = None
+        msg.stalled = False
+
+    def _wake(self, key) -> None:
+        """A resource was released: unstall every message waiting on it."""
+        waiters = self._wake_index.get(key)
+        if waiters:
+            live = self._live
+            for mid in waiters:
+                m = live.get(mid)
+                if m is not None:
+                    m.stalled = False
+
+    def _on_acquired(self, msg: Message) -> None:
+        """Common fast-path bookkeeping after any resource acquisition."""
+        msg.routable = False
+        msg.immobile = False
+        self._end_wait(msg)
+
+    def _release_due_headers(self) -> None:
+        """Mark headers routable once their router pipeline delay is served."""
+        due = self._delay_due
+        cycle = self.cycle
+        while due and due[0][0] <= cycle:
+            _, msg = due.popleft()
+            if (
+                msg.is_done
+                or msg.recovering
+                or msg.is_draining
+                or msg.head_arrival is None
+            ):
+                continue
+            msg.routable = True
 
     # -- the four phases -------------------------------------------------------------
     def _phase_generate(self) -> None:
@@ -226,77 +386,120 @@ class NetworkSimulator:
             self.stats.on_generated(self.cycle)
 
     def _phase_allocate(self) -> None:
+        fast = self.fast_path
+        queued = MessageStatus.QUEUED
         requests: list[Message] = []
         for q in self.queues:
+            if not q:
+                continue
+            head = q[0]
+            # Common case: the head is still waiting to inject — a queued
+            # message is never done and always has flits at the source.
+            if head.status is queued:
+                requests.append(head)
+                continue
             # Let the next queued message start once its predecessor has
             # fully left the source (one injection channel per node).
             while q and (q[0].is_done or q[0].at_source == 0):
                 done = q.popleft()
                 if done.is_done:
                     self._live.pop(done.id, None)
-            if q and q[0].status is MessageStatus.QUEUED:
+            if q and q[0].status is queued:
                 requests.append(q[0])
-        for m in self.active.values():
-            if self.routing_eligible(m):
-                requests.append(m)
-        requests = self._service_order(requests)
+        if fast:
+            if self._delay_due:
+                self._release_due_headers()
+            for m in self.active.values():
+                if m.routable:
+                    requests.append(m)
+        else:
+            for m in self.active.values():
+                if self.routing_eligible(m):
+                    requests.append(m)
+        requests = self._service_order(requests, _PHASE_ALLOC)
         tracker = self.tracker
+        cycle = self.cycle
         for msg in requests:
+            if msg.stalled:
+                # nothing this header waits on has freed since it last
+                # failed: the attempt would fail identically (and consume
+                # no RNG), so skip it
+                continue
             if msg.needs_reception:
                 rx = self.pool.free_reception(msg.dest)
                 if rx is not None:
                     msg.acquire_reception(rx)
+                    self.blocked_epoch += 1
                     if tracker is not None:
                         tracker.on_acquire(msg.id, ("rx", msg.dest, rx.index))
+                    if fast:
+                        self._on_acquired(msg)
                 else:
                     if msg.blocked_since is None:
-                        msg.blocked_since = self.cycle
+                        msg.blocked_since = cycle
+                        self.blocked_epoch += 1
                     if tracker is not None:
                         tracker.on_block(
-                            msg.id,
-                            [
-                                ("rx", msg.dest, i)
-                                for i in range(self.pool.rx_channels)
-                            ],
+                            msg.id, self.pool.reception_request_keys(msg.dest)
                         )
+                    if fast:
+                        self._begin_wait(msg, (("rx", msg.dest),))
                 continue
             candidates = self.route_candidates(msg)
-            free = [vc for vc in candidates if vc.is_free]
+            free = [vc for vc in candidates if vc.owner is None]
             choice = self.selection.choose(msg, free, self.rng)
             if choice is not None:
                 was_queued = msg.status is MessageStatus.QUEUED
-                msg.acquire_vc(choice, self.cycle)
+                msg.acquire_vc(choice, cycle)
+                self.blocked_epoch += 1
                 if tracker is not None:
                     tracker.on_acquire(msg.id, choice.index)
+                if fast:
+                    self._on_acquired(msg)
                 if was_queued:
                     self.active[msg.id] = msg
-                    self.stats.on_injected(self.cycle)
+                    self.stats.on_injected(cycle)
             elif msg.vcs:
                 if msg.blocked_since is None:
-                    msg.blocked_since = self.cycle
+                    msg.blocked_since = cycle
+                    self.blocked_epoch += 1
                 if tracker is not None:
                     tracker.on_block(msg.id, [vc.index for vc in candidates])
+                if fast:
+                    keys = None
+                    if msg.wait_keys is None and not self._uncacheable_routing:
+                        keys = tuple(vc.index for vc in candidates)
+                    self._begin_wait(msg, keys)
 
     def _phase_move(self) -> None:
         link_used = self._link_used
-        for i in range(len(link_used)):
-            link_used[i] = 0
-        order = self._service_order(list(self.active.values()))
+        link_used[:] = self._zero_links
+        fast = self.fast_path
+        tracker = self.tracker
+        cycle = self.cycle
+        delay = self._router_delay
+        order = self._service_order(list(self.active.values()), _PHASE_MOVE)
         finished: list[Message] = []
         torn_down: list[Message] = []
         for msg in order:
+            if msg.immobile:
+                # fully-compressed blocked worm: every owned buffer is full,
+                # so no boundary can advance until a new resource is acquired
+                continue
             vcs = msg.vcs
+            moved = False
             if msg.recovering:
                 msg.teardown_step()  # one flit into the recovery lane
             elif msg.is_draining and vcs and vcs[-1].occupancy > 0:
                 vcs[-1].occupancy -= 1
                 msg.ejected += 1
+                moved = True
             # Head-to-tail boundary pass: each flit advances at most one hop.
             for i in range(len(vcs) - 1, -1, -1):
                 dst = vcs[i]
                 if dst.occupancy >= dst.capacity:
                     continue
-                li = dst.link.index
+                li = dst.link_index
                 if link_used[li]:
                     continue
                 if i > 0:
@@ -310,33 +513,65 @@ class NetworkSimulator:
                     msg.at_source -= 1
                 dst.occupancy += 1
                 link_used[li] = 1
+                moved = True
                 if i == len(vcs) - 1 and msg.head_arrival is None:
-                    msg.head_arrival = self.cycle  # header reached a new node
+                    msg.head_arrival = cycle  # header reached a new node
+                    if fast and not msg.recovering:
+                        if delay == 0:
+                            msg.routable = True
+                        else:
+                            self._delay_due.append((cycle + delay, msg))
             released = msg.release_drained_tail()
-            if self.tracker is not None:
+            if released:
+                self.blocked_epoch += 1
                 for vc in released:
-                    self.tracker.on_release(msg.id, vc.index)
+                    if tracker is not None:
+                        tracker.on_release(msg.id, vc.index)
+                    if fast:
+                        self._wake(vc.index)
+                if fast and msg.wait_keys is not None:
+                    # the chain shortened: candidate keys that include the
+                    # hop count (misrouting budgets) may now differ, so the
+                    # next attempt must re-derive the awaited set
+                    self._drop_wait_keys(msg)
             if msg.recovering:
                 if msg.teardown_complete and not msg.vcs:
                     torn_down.append(msg)
             elif msg.ejected == msg.length and msg.is_draining:
                 finished.append(msg)
+            elif fast and not moved and not msg.is_draining and vcs:
+                # Nothing moved: if every owned buffer is also full, the worm
+                # is fully compressed and provably immobile until it acquires
+                # a new resource (which clears the flag).
+                for vc in vcs:
+                    if vc.occupancy < vc.capacity:
+                        break
+                else:
+                    msg.immobile = True
         for msg in finished:
-            msg.finish_delivery(self.cycle)
+            rx_node = msg.dest
+            msg.finish_delivery(cycle)
             self.active.pop(msg.id)
             self._live.pop(msg.id, None)
-            if self.tracker is not None:
-                self.tracker.on_done(msg.id)
-            self.stats.on_delivered(msg, self.cycle)
+            self.blocked_epoch += 1
+            if tracker is not None:
+                tracker.on_done(msg.id)
+            if fast:
+                self._end_wait(msg)
+                self._wake(("rx", rx_node))
+            self.stats.on_delivered(msg, cycle)
         for msg in torn_down:
             msg.remove_from_network(
-                self.cycle, delivered=self.recovery.delivers_victim
+                cycle, delivered=self.recovery.delivers_victim
             )
             self.active.pop(msg.id)
             self._live.pop(msg.id, None)
-            if self.tracker is not None:
-                self.tracker.on_done(msg.id)
-            self.stats.on_recovered(msg, self.cycle)
+            self.blocked_epoch += 1
+            if tracker is not None:
+                tracker.on_done(msg.id)
+            if fast:
+                self._end_wait(msg)
+            self.stats.on_recovered(msg, cycle)
 
     def _phase_detect(self) -> Optional[DetectionRecord]:
         if self.cycle % self.config.detection_interval != 0:
@@ -374,9 +609,15 @@ class NetworkSimulator:
             for mid in event.deadlock_set:
                 self._live[mid].deadlock_count += 1
         threshold = self.config.timeout_threshold
+        if record.blocked_ids is not None:
+            # the detector enumerated the blocked set this same pass —
+            # reuse it instead of rescanning the population
+            pool = [self._live[mid] for mid in record.blocked_ids]
+        else:
+            pool = self.blocked_messages()
         candidates = [
             m
-            for m in self.blocked_messages()
+            for m in pool
             if m.blocked_since is not None
             and self.cycle - m.blocked_since >= threshold
         ]
@@ -392,22 +633,40 @@ class NetworkSimulator:
         self._remove_victim(victim)
 
     def _remove_victim(self, victim: Message) -> None:
+        fast = self.fast_path
         if self.config.recovery_teardown == "flit-by-flit":
+            held_rx = victim.reception  # released inside begin_teardown
             victim.begin_teardown()
+            self.blocked_epoch += 1
             if self.tracker is not None:
                 # a draining victim no longer requests anything; its owned
                 # channels release progressively via the movement phase
                 self.tracker.on_unblock(victim.id)
+            if fast:
+                victim.routable = False
+                victim.immobile = False
+                self._end_wait(victim)
+                if held_rx is not None:
+                    self._wake(("rx", held_rx.node))
             # completion (and stats) happen in the movement phase as the
             # message drains through the recovery lane
             return
+        owned = [vc.index for vc in victim.vcs]
+        held_rx = victim.reception
         victim.remove_from_network(
             self.cycle, delivered=self.recovery.delivers_victim
         )
         self.active.pop(victim.id)
         self._live.pop(victim.id, None)
+        self.blocked_epoch += 1
         if self.tracker is not None:
             self.tracker.on_done(victim.id)
+        if fast:
+            self._end_wait(victim)
+            for index in owned:
+                self._wake(index)
+            if held_rx is not None:
+                self._wake(("rx", held_rx.node))
         self.stats.on_recovered(victim, self.cycle)
 
     # -- driving ------------------------------------------------------------------------
@@ -475,4 +734,53 @@ class NetworkSimulator:
             if vc.owner is not None and vc.owner not in self.active:
                 raise SimulationError(
                     f"VC {vc.index} owned by non-active message {vc.owner}"
+                )
+        if self.fast_path:
+            self._check_activity_state()
+
+    def _check_activity_state(self) -> None:
+        """Fast-path flags must agree with the predicates they cache."""
+        for msg in self.active.values():
+            if msg.routable != self.routing_eligible(msg):
+                raise SimulationError(
+                    f"message {msg.id}: routable flag {msg.routable} "
+                    f"disagrees with routing_eligible"
+                )
+            if (msg.blocked_since is not None) != (msg.id in self._waiting):
+                raise SimulationError(
+                    f"message {msg.id}: waiting-set membership disagrees "
+                    f"with blocked_since={msg.blocked_since}"
+                )
+            if msg.stalled:
+                keys = msg.wait_keys
+                if keys is None:
+                    raise SimulationError(
+                        f"message {msg.id} stalled without wait keys"
+                    )
+                for key in keys:
+                    if isinstance(key, tuple):  # ("rx", node)
+                        if self.pool.free_reception(key[1]) is not None:
+                            raise SimulationError(
+                                f"message {msg.id} stalled on free "
+                                f"reception at node {key[1]}"
+                            )
+                    elif self.pool.vcs[key].owner is None:
+                        raise SimulationError(
+                            f"message {msg.id} stalled on free VC {key}"
+                        )
+            if msg.immobile:
+                if msg.is_draining or msg.recovering:
+                    raise SimulationError(
+                        f"message {msg.id} immobile while draining/recovering"
+                    )
+                for vc in msg.vcs:
+                    if vc.occupancy < vc.capacity:
+                        raise SimulationError(
+                            f"message {msg.id} immobile with slack in "
+                            f"VC {vc.index}"
+                        )
+        for mid in self._waiting:
+            if mid not in self.active:
+                raise SimulationError(
+                    f"waiting set retains non-active message {mid}"
                 )

@@ -1,0 +1,192 @@
+"""A/B equivalence: the activity-tracked fast path is bit-identical.
+
+``engine_fast_path`` restructures the engine's hot loops around
+incrementally-maintained activity state (routable flags, a stalled-message
+wake index, immobile-worm skipping, detection short-circuiting on the
+blocked epoch).  All of it is pure optimization: with the same seed, the
+fast and legacy paths must produce the **same** :class:`RunResult` fields
+and the **same** sequence of :class:`DeadlockEvent`\\ s.
+
+Every case runs the identical configuration twice — fast path on and off —
+and compares everything except the config object itself.  Cases cover the
+matrix the engine branches on: DOR/TFAR (plus the misrouting variant whose
+candidate sets change as a blocked message's tail drains), uni- and
+bidirectional tori, 1–4 VCs, wormhole and virtual cut-through switching,
+knot and timeout detection, both CWG maintenance modes, both recovery
+teardown styles, router pipeline delay, multiple reception channels, and
+all three arbitration policies.
+
+Several cases run with ``check_invariants=True``: the simulator then also
+asserts every cycle that the maintained flags (``routable``, ``stalled``,
+``immobile``, the waiting set) agree with the predicates they cache.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import tiny_default
+from repro.network.simulator import NetworkSimulator
+
+
+def _result_fields(result):
+    fields = dataclasses.asdict(result)
+    fields.pop("config")  # differs by construction (the flag itself)
+    return fields
+
+
+def _event_keys(sim):
+    return [
+        (
+            e.cycle,
+            sorted(e.deadlock_set),
+            sorted(e.resource_set, key=str),
+            sorted(e.knot, key=str),
+            e.knot_cycle_density,
+            e.density_saturated,
+            sorted(e.dependent),
+            sorted(e.transient_dependent),
+        )
+        for e in sim.detector.events
+    ]
+
+
+def _run_pair(**overrides):
+    params = dict(measure_cycles=1500, warmup_cycles=100, seed=7)
+    params.update(overrides)
+    cfg = tiny_default(**params)
+    out = {}
+    for fast in (True, False):
+        sim = NetworkSimulator(cfg.replace(engine_fast_path=fast))
+        result = sim.run()
+        out[fast] = (sim, result)
+    return out
+
+
+def _assert_identical(pair):
+    fast_sim, fast_result = pair[True]
+    legacy_sim, legacy_result = pair[False]
+    assert _result_fields(fast_result) == _result_fields(legacy_result)
+    assert _event_keys(fast_sim) == _event_keys(legacy_sim)
+    # the workload actually exercised the engine
+    assert legacy_result.delivered > 0
+
+
+CASES = {
+    # -- routing × topology × VCs ------------------------------------------------
+    "tfar_saturated": dict(routing="tfar", load=1.0, num_vcs=1),
+    "dor_unrecovered": dict(
+        routing="dor", load=1.0, num_vcs=1, recovery="none"
+    ),
+    "tfar_four_vcs": dict(routing="tfar", load=1.0, num_vcs=4),
+    "tfar_unidirectional": dict(
+        routing="tfar", load=1.0, bidirectional=False, num_vcs=2
+    ),
+    "tfar_misrouting": dict(routing="tfar-mis", load=1.0, num_vcs=2),
+    "duato_three_vcs": dict(routing="duato", load=1.0, num_vcs=3),
+    "dateline_torus": dict(routing="dor-dateline", load=1.0, num_vcs=2),
+    "negative_first_mesh": dict(
+        routing="negative-first", load=1.0, mesh=True
+    ),
+    # -- switching ----------------------------------------------------------------
+    "cut_through": dict(
+        routing="dor", load=0.9, buffer_depth=8, message_length=8
+    ),
+    # -- detection / recovery modes ----------------------------------------------
+    "timeout_recovery": dict(
+        routing="tfar",
+        load=1.0,
+        detection_mode="timeout",
+        timeout_threshold=100,
+    ),
+    "incremental_cwg": dict(
+        routing="tfar", load=1.0, cwg_maintenance="incremental"
+    ),
+    "incremental_timeout_teardown": dict(
+        routing="tfar",
+        load=1.0,
+        cwg_maintenance="incremental",
+        detection_mode="timeout",
+        timeout_threshold=100,
+        recovery_teardown="flit-by-flit",
+    ),
+    "flit_by_flit_teardown": dict(
+        routing="tfar", load=1.0, recovery_teardown="flit-by-flit"
+    ),
+    "abort_all_recovery": dict(
+        routing="tfar", load=1.0, recovery="abort-all"
+    ),
+    "blocked_durations_recorded": dict(
+        routing="tfar",
+        load=1.0,
+        record_blocked_durations=True,
+        detection_mode="timeout",
+        timeout_threshold=100,
+        cwg_maintenance="incremental",
+    ),
+    # -- router / node structure ----------------------------------------------------
+    "router_delay": dict(routing="tfar", load=1.0, router_delay=2),
+    "two_rx_channels": dict(routing="tfar", load=1.0, rx_channels=2),
+    # -- arbitration ------------------------------------------------------------------
+    "round_robin": dict(
+        routing="tfar", load=1.0, arbitration="round-robin"
+    ),
+    "oldest_first": dict(
+        routing="tfar", load=1.0, arbitration="oldest-first"
+    ),
+}
+
+#: cases that additionally validate the activity flags every cycle
+CHECKED_CASES = {
+    "tfar_saturated",
+    "tfar_misrouting",
+    "incremental_timeout_teardown",
+    "router_delay",
+    "cut_through",
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_fast_path_bit_identical(name):
+    overrides = dict(CASES[name])
+    if name in CHECKED_CASES:
+        overrides["check_invariants"] = True
+    _assert_identical(_run_pair(**overrides))
+
+
+def test_fast_path_identical_across_seeds():
+    """Sweep seeds on the most deadlock-prone configuration."""
+    for seed in (1, 2, 3):
+        _assert_identical(
+            _run_pair(
+                routing="dor",
+                load=1.0,
+                num_vcs=1,
+                seed=seed,
+                measure_cycles=1000,
+            )
+        )
+
+
+def test_detection_records_match():
+    """Per-pass structural fields survive the detector short-circuit."""
+    pair = _run_pair(
+        routing="tfar", load=0.9, cwg_maintenance="incremental"
+    )
+    fast_records = pair[True][0].detector.records
+    legacy_records = pair[False][0].detector.records
+    assert len(fast_records) == len(legacy_records)
+    for fr, lr in zip(fast_records, legacy_records):
+        assert fr.cycle == lr.cycle
+        assert fr.cwg_vertices == lr.cwg_vertices
+        assert fr.cwg_arcs == lr.cwg_arcs
+        assert fr.blocked_messages == lr.blocked_messages
+        assert fr.messages_in_network == lr.messages_in_network
+        assert len(fr.events) == len(lr.events)
+
+
+def test_fast_path_is_default():
+    cfg = tiny_default()
+    assert cfg.engine_fast_path is True
+    sim = NetworkSimulator(cfg)
+    assert sim.fast_path is True
