@@ -8,7 +8,11 @@ seed-fixed mode and records:
 * the fast-vs-legacy **speedup** on the saturated acceptance scenario
   (16-ary 2-cube, TFAR, load 0.9 — the configuration every figure sweep
   spends its time in),
-* **detector µs/pass** with and without the blocked-epoch short-circuit.
+* **detector µs/pass** with and without the blocked-epoch short-circuit,
+* **detector-census µs/pass** (the same saturated 16-ary with
+  ``count_cycles=True``, passes driven by the engine itself so dirty sets
+  are realistic) with dirty-region caching on and off — the cached/uncached
+  ratio is this PR's acceptance criterion (≥ 2×).
 
 The committed ``BENCH_core.json`` is this repo's perf trajectory: regenerate
 it with ``python scripts/bench_baseline.py`` after engine work, and gate
@@ -123,6 +127,46 @@ def _detector_us_per_pass(engine_fast_path: bool) -> float:
     return 1e6 * elapsed / (2 * passes)
 
 
+def _detector_census_us_per_pass(detector_caching: bool) -> float:
+    """Mean census-enabled detector cost per pass, engine-driven.
+
+    The detector is exercised by the engine's own ``detection_interval``
+    cadence (not back-to-back manual calls) so the dirty-vertex sets and
+    region churn between passes are exactly what a real sweep produces.
+    Both modes yield bit-identical records, hence identical trajectories —
+    the realized averages are directly comparable.
+    """
+    cfg = paper_default(
+        warmup_cycles=0,
+        measure_cycles=1,
+        seed=1,
+        routing="tfar",
+        num_vcs=1,
+        load=0.9,
+        cwg_maintenance="incremental",
+        count_cycles=True,
+        detector_caching=detector_caching,
+    )
+    sim = NetworkSimulator(cfg)
+    for _ in range(1200):
+        sim.step()
+    state = [0.0, 0]
+    orig = sim.detector.detect
+
+    def timed(s):
+        t0 = time.perf_counter()
+        record = orig(s)
+        state[0] += time.perf_counter() - t0
+        state[1] += 1
+        return record
+
+    sim.detector.detect = timed
+    passes = 20
+    for _ in range(passes * cfg.detection_interval):
+        sim.step()
+    return 1e6 * state[0] / state[1]
+
+
 def measure() -> dict:
     results: dict = {"scenarios": {}}
     for name, spec in ENGINE_SCENARIOS.items():
@@ -139,10 +183,23 @@ def measure() -> dict:
     results["detector_us_per_pass_legacy"] = round(
         _detector_us_per_pass(engine_fast_path=False), 1
     )
+    census_cached = _detector_census_us_per_pass(detector_caching=True)
+    census_uncached = _detector_census_us_per_pass(detector_caching=False)
+    results["detector_census"] = {
+        "scenario": "detector_census_16ary",
+        "us_per_pass_cached": round(census_cached, 1),
+        "us_per_pass_uncached": round(census_uncached, 1),
+        "speedup": round(census_uncached / census_cached, 3),
+    }
     results["acceptance"] = {
         "scenario": ACCEPTANCE_SCENARIO,
         "required_speedup": 2.0,
         "speedup": results["scenarios"][ACCEPTANCE_SCENARIO]["speedup"],
+    }
+    results["acceptance_detector"] = {
+        "scenario": "detector_census_16ary",
+        "required_speedup": 2.0,
+        "speedup": results["detector_census"]["speedup"],
     }
     return results
 
@@ -163,12 +220,31 @@ def check(baseline: dict, fresh: dict, tolerance: float = 0.20) -> list[str]:
                 f"(baseline {base['cycles_per_sec_fast']:.0f}, "
                 f"floor {floor:.0f})"
             )
+    base_census = baseline.get("detector_census")
+    if base_census is not None:
+        now_census = fresh["detector_census"]
+        # µs/pass is an inverse metric: regression means growing, not shrinking
+        ceiling = base_census["us_per_pass_cached"] * (1.0 + tolerance)
+        if now_census["us_per_pass_cached"] > ceiling:
+            problems.append(
+                "detector_census_16ary: cached pass regressed to "
+                f"{now_census['us_per_pass_cached']:.0f} us "
+                f"(baseline {base_census['us_per_pass_cached']:.0f}, "
+                f"ceiling {ceiling:.0f})"
+            )
     req = baseline.get("acceptance", {}).get("required_speedup", 2.0)
     got = fresh["acceptance"]["speedup"]
     if got < req:
         problems.append(
             f"acceptance speedup {got:.2f}x below required {req:.1f}x "
             f"on {fresh['acceptance']['scenario']}"
+        )
+    req = baseline.get("acceptance_detector", {}).get("required_speedup", 2.0)
+    got = fresh.get("acceptance_detector", {}).get("speedup")
+    if got is not None and got < req:
+        problems.append(
+            f"detector caching speedup {got:.2f}x below required {req:.1f}x "
+            f"on {fresh['acceptance_detector']['scenario']}"
         )
     return problems
 
@@ -197,6 +273,12 @@ def main() -> int:
         f"detector: fast={fresh['detector_us_per_pass_fast']:.0f} "
         f"legacy={fresh['detector_us_per_pass_legacy']:.0f} us/pass"
     )
+    census = fresh["detector_census"]
+    print(
+        f"detector census: cached={census['us_per_pass_cached']:.0f} "
+        f"uncached={census['us_per_pass_uncached']:.0f} us/pass "
+        f"({census['speedup']:.2f}x)"
+    )
 
     if args.check:
         if not args.out.exists():
@@ -213,13 +295,15 @@ def main() -> int:
 
     args.out.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
-    if fresh["acceptance"]["speedup"] < fresh["acceptance"]["required_speedup"]:
-        print(
-            "WARNING: acceptance speedup below "
-            f"{fresh['acceptance']['required_speedup']}x"
-        )
-        return 1
-    return 0
+    failed = False
+    for key in ("acceptance", "acceptance_detector"):
+        if fresh[key]["speedup"] < fresh[key]["required_speedup"]:
+            print(
+                f"WARNING: {fresh[key]['scenario']} speedup below "
+                f"{fresh[key]['required_speedup']}x"
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

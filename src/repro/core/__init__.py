@@ -3,14 +3,26 @@
 from repro.core.cwg import ChannelWaitForGraph
 from repro.core.incremental import IncrementalCWG
 from repro.core.gallery import figure1_cwg, figure2_cwg, figure3_cwg, figure4_cwg
-from repro.core.cycles import CycleCount, count_simple_cycles, enumerate_simple_cycles
+from repro.core.cycles import (
+    ContractedGraph,
+    CycleCount,
+    contract_graph,
+    count_cycles_contracted,
+    count_simple_cycles,
+    enumerate_simple_cycles,
+)
 from repro.core.detector import (
     DeadlockDetector,
     DeadlockEvent,
     DetectionRecord,
     classify_event,
 )
-from repro.core.knots import find_knots, knot_of_vertex, strongly_connected_components
+from repro.core.knots import (
+    find_knots,
+    find_knots_contracted,
+    knot_of_vertex,
+    strongly_connected_components,
+)
 from repro.core.pwfg import (
     is_connected_routing,
     packet_wait_for_graph,
@@ -32,7 +44,10 @@ __all__ = [
     "figure2_cwg",
     "figure3_cwg",
     "figure4_cwg",
+    "ContractedGraph",
     "CycleCount",
+    "contract_graph",
+    "count_cycles_contracted",
     "count_simple_cycles",
     "enumerate_simple_cycles",
     "DeadlockDetector",
@@ -40,6 +55,7 @@ __all__ = [
     "DetectionRecord",
     "classify_event",
     "find_knots",
+    "find_knots_contracted",
     "knot_of_vertex",
     "strongly_connected_components",
     "packet_wait_for_graph",

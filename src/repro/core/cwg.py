@@ -23,7 +23,7 @@ live network state.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.errors import SimulationError
 
@@ -44,8 +44,10 @@ class WaitGraphQueries:
     """
 
     owner: Mapping[Vertex, int | None]
-    chains: Mapping[int, list[Vertex]]
-    requests: Mapping[int, list[Vertex]]
+    #: any ordered, sized, iterable chain works — the snapshot stores lists,
+    #: the live tracker deques (O(1) head pops on release)
+    chains: Mapping[int, Sequence[Vertex]]
+    requests: Mapping[int, Sequence[Vertex]]
 
     @property
     def num_arcs(self) -> int:

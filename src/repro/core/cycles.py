@@ -13,18 +13,46 @@ practice of running "until the network saturates with respect to the number
 of resource dependency cycles".
 
 The algorithm is Johnson's (1975) simple-cycle enumeration restricted to
-nontrivial SCCs, O((V + E)(C + 1)) for C cycles.
+nontrivial SCCs, O((V + E)(C + 1)) for C cycles, in an iterative form: the
+recursion of the textbook presentation is replaced by an explicit frame
+stack, so censusing a whole-network knot can never overflow the Python
+stack and ``sys.setrecursionlimit`` is never touched.
+
+Because a found ``CycleCount`` is ``(min(true_total, limit),
+true_total >= limit)`` regardless of the order cycles are discovered in
+(each found cycle decrements the budget by exactly one and enumeration
+stops the instant it empties), bounded counts compose: counting a graph's
+weakly-connected regions independently, each with the full budget, and
+summing yields the exact same ``CycleCount`` as one global enumeration.
+The dirty-region detector relies on this to merge cached per-region
+censuses.
+
+For the detector's cached path, :func:`contract_graph` collapses
+*pass-through* vertices — in-degree 1, out-degree 1, no self-loop — into
+multigraph arcs between the remaining branch vertices.  A CWG is mostly
+unbranched ownership chains, so this shrinks the graph several-fold while
+preserving the simple-cycle count exactly: every original simple cycle
+corresponds 1:1 to either a contracted-multigraph cycle (parallel arcs
+counting separately) or a *ring* of pure pass-through vertices.
+:func:`count_cycles_contracted` exploits that for an identical-but-faster
+census.
 """
 
 from __future__ import annotations
 
-import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, Mapping, Sequence
 
 from repro.core.knots import strongly_connected_components
 
-__all__ = ["CycleCount", "count_simple_cycles", "enumerate_simple_cycles"]
+__all__ = [
+    "CycleCount",
+    "count_simple_cycles",
+    "enumerate_simple_cycles",
+    "ContractedGraph",
+    "contract_graph",
+    "count_cycles_contracted",
+]
 
 Vertex = Hashable
 
@@ -53,7 +81,18 @@ def _johnson_scc(
     budget: _Budget,
     collect: list[list[int]] | None,
 ) -> int:
-    """Count simple cycles within one SCC (vertices already pre-restricted)."""
+    """Count simple cycles within one SCC (vertices already pre-restricted).
+
+    Iterative Johnson: each explicit frame is ``[vertex, successor index,
+    found-a-cycle flag]``, mirroring the recursive formulation exactly —
+    the enumeration order (and therefore any ``collect`` output and any
+    budget-capped count) is identical to the recursive algorithm's.
+
+    ``adj`` may be a multigraph (duplicate successors): parallel arcs into
+    the start vertex each close a distinct cycle, and parallel arcs
+    elsewhere re-explore their target, which is exactly the per-arc cycle
+    multiplicity the contraction path needs.
+    """
     vset = set(vertices)
     order = {v: i for i, v in enumerate(sorted(vertices))}
     count = 0
@@ -66,23 +105,18 @@ def _johnson_scc(
         allowed = {v for v in vset if order[v] >= order[s]}
         blocked: set[int] = set()
         blist: dict[int, set[int]] = {v: set() for v in allowed}
-        path: list[int] = []
+        path: list[int] = [s]
+        blocked.add(s)
+        stack: list[list] = [[s, 0, False]]
 
-        def unblock(v: int) -> None:
-            stack = [v]
-            while stack:
-                u = stack.pop()
-                if u in blocked:
-                    blocked.discard(u)
-                    stack.extend(blist[u])
-                    blist[u].clear()
-
-        def circuit(v: int) -> bool:
-            nonlocal count
-            found = False
-            path.append(v)
-            blocked.add(v)
-            for w in adj.get(v, ()):
+        while stack:
+            frame = stack[-1]
+            v = frame[0]
+            succs = adj.get(v, ())
+            descended = False
+            while frame[1] < len(succs):
+                w = succs[frame[1]]
+                frame[1] += 1
                 if w not in allowed or w == v:
                     continue  # self-loops are counted separately
                 if w == s:
@@ -90,26 +124,34 @@ def _johnson_scc(
                     budget.left -= 1
                     if collect is not None:
                         collect.append(list(path))
-                    found = True
+                    frame[2] = True
                     if budget.left <= 0:
-                        path.pop()
-                        return True
+                        return count  # cap hit: abandon all bookkeeping
                 elif w not in blocked:
-                    if circuit(w):
-                        found = True
-                    if budget.left <= 0:
-                        path.pop()
-                        return True
-            if found:
-                unblock(v)
+                    stack.append([w, 0, False])
+                    path.append(w)
+                    blocked.add(w)
+                    descended = True
+                    break
+            if descended:
+                continue
+            # Frame exhausted: retire it, propagating the found flag.
+            if frame[2]:
+                unstack = [v]
+                while unstack:
+                    u = unstack.pop()
+                    if u in blocked:
+                        blocked.discard(u)
+                        unstack.extend(blist[u])
+                        blist[u].clear()
             else:
-                for w in adj.get(v, ()):
+                for w in succs:
                     if w in allowed:
                         blist[w].add(v)
             path.pop()
-            return found
-
-        circuit(s)
+            stack.pop()
+            if stack and frame[2]:
+                stack[-1][2] = True
         vset.discard(s)
     return count
 
@@ -118,7 +160,16 @@ def _count(
     adjacency: Mapping[Vertex, Sequence[Vertex]],
     limit: int,
     collect: list[list[Vertex]] | None,
+    self_loop_multiplicity: bool = False,
 ) -> CycleCount:
+    """Bounded cycle count.
+
+    ``self_loop_multiplicity`` selects multigraph semantics for self-loops
+    (each parallel self-loop arc is a distinct cycle); the default treats a
+    self-loop as a single 1-cycle, which is the right reading for the
+    simple-digraph adjacency a CWG produces.  Non-self parallel arcs are
+    handled per-arc by :func:`_johnson_scc` in both modes.
+    """
     # Map vertices to dense ints for speed and a stable vertex order.
     ids = {v: i for i, v in enumerate(adjacency)}
     for succs in adjacency.values():
@@ -137,28 +188,22 @@ def _count(
         if budget.left <= 0:
             break
         if v in succs:
-            total += 1
-            budget.left -= 1
+            loops = succs.count(v) if self_loop_multiplicity else 1
+            take = min(loops, budget.left)
+            total += take
+            budget.left -= take
             if collect is not None:
-                collect.append([rev[v]])
+                collect.extend([rev[v]] for _ in range(take))
 
-    old_limit = sys.getrecursionlimit()
-    needed = len(ids) + 100
-    if needed > old_limit:
-        sys.setrecursionlimit(needed)
-    try:
-        for comp in strongly_connected_components(adj):
-            if len(comp) < 2:
-                continue
-            if budget.left <= 0:
-                break
-            raw: list[list[int]] | None = [] if collect is not None else None
-            total += _johnson_scc(adj, comp, budget, raw)
-            if collect is not None and raw:
-                collect.extend([[rev[u] for u in cyc] for cyc in raw])
-    finally:
-        if needed > old_limit:
-            sys.setrecursionlimit(old_limit)
+    for comp in strongly_connected_components(adj):
+        if len(comp) < 2:
+            continue
+        if budget.left <= 0:
+            break
+        raw: list[list[int]] | None = [] if collect is not None else None
+        total += _johnson_scc(adj, comp, budget, raw)
+        if collect is not None and raw:
+            collect.extend([[rev[u] for u in cyc] for cyc in raw])
     return CycleCount(count=total, saturated=budget.left <= 0)
 
 
@@ -178,3 +223,103 @@ def enumerate_simple_cycles(
     out: list[list[Vertex]] = []
     result = _count(adjacency, limit, out)
     return out, result.saturated
+
+
+# -- chain contraction ---------------------------------------------------------------
+
+
+@dataclass
+class ContractedGraph:
+    """A CWG adjacency with pass-through chain vertices contracted away.
+
+    ``succ``/``paths`` are parallel: ``paths[v][i]`` holds the original
+    pass-through vertices collapsed into the contracted arc
+    ``v -> succ[v][i]``, in traversal order.  ``rings`` are the simple
+    cycles made *entirely* of pass-through vertices — each is exactly one
+    original cycle (and, being a sink SCC with arcs, a knot on its own).
+    """
+
+    succ: dict[Vertex, list[Vertex]] = field(default_factory=dict)
+    paths: dict[Vertex, list[tuple[Vertex, ...]]] = field(default_factory=dict)
+    rings: list[list[Vertex]] = field(default_factory=list)
+
+    @property
+    def num_kept(self) -> int:
+        return len(self.succ)
+
+
+def contract_graph(
+    adjacency: Mapping[Vertex, Sequence[Vertex]],
+) -> ContractedGraph:
+    """Collapse in-degree-1/out-degree-1 pass-through vertices.
+
+    Simple-cycle counts are invariant under the contraction: an original
+    simple cycle maps 1:1 to a contracted-multigraph simple cycle (each
+    parallel arc choice being a distinct original cycle) or to one entry of
+    ``rings``.  SCC/knot structure over the kept vertices is likewise
+    preserved — interior vertices have exactly one outgoing arc, so no
+    escape path can originate inside a contracted arc.
+    """
+    indeg: dict[Vertex, int] = {v: 0 for v in adjacency}
+    for succs in adjacency.values():
+        for w in succs:
+            indeg[w] = indeg.get(w, 0) + 1
+
+    keep: set[Vertex] = set()
+    for v in indeg:
+        succs = adjacency.get(v, ())
+        if len(succs) != 1 or indeg[v] != 1 or v in succs:
+            keep.add(v)
+
+    out = ContractedGraph()
+    succ = out.succ
+    paths = out.paths
+    on_path: set[Vertex] = set()
+    for v in adjacency:
+        if v not in keep:
+            continue
+        sl: list[Vertex] = []
+        pl: list[tuple[Vertex, ...]] = []
+        for w in adjacency.get(v, ()):
+            interior: list[Vertex] = []
+            while w not in keep:
+                interior.append(w)
+                on_path.add(w)
+                w = adjacency[w][0]
+            sl.append(w)
+            pl.append(tuple(interior))
+        succ[v] = sl
+        paths[v] = pl
+    # Cycles made purely of pass-through vertices never touch a kept vertex
+    # and are missed by the arc walk above: collect them as rings.
+    for v in adjacency:
+        if v in keep or v in on_path:
+            continue
+        ring = [v]
+        on_path.add(v)
+        u = adjacency[v][0]
+        while u != v:
+            ring.append(u)
+            on_path.add(u)
+            u = adjacency[u][0]
+        out.rings.append(ring)
+    return out
+
+
+def count_cycles_contracted(
+    contracted: ContractedGraph, limit: int
+) -> CycleCount:
+    """Bounded cycle count over a contracted graph.
+
+    Produces the exact ``CycleCount`` that :func:`count_simple_cycles`
+    returns on the uncontracted adjacency (counts are order-independent
+    under the budget; see the module docstring).
+    """
+    if limit < 1:
+        return CycleCount(0, True)
+    rings = min(len(contracted.rings), limit)
+    inner = _count(
+        contracted.succ, limit - rings, None, self_loop_multiplicity=True
+    )
+    total = rings + inner.count
+    return CycleCount(min(total, limit), total >= limit)

@@ -10,18 +10,55 @@ and optionally censuses all resource-dependency cycles in the CWG.
 The detector is pure observation plus classification; breaking the deadlock
 is delegated to a :class:`~repro.core.recovery.RecoveryPolicy` by the
 simulation engine.
+
+Dirty-region caching
+--------------------
+
+With ``detector_caching`` on (the default) and incremental CWG maintenance
+active, a pass scales with *what changed since the last pass* instead of
+with CWG size.  The CWG is partitioned into weakly-connected regions;
+knots, deadlock events and the bounded cycle census are computed **per
+region** and cached two ways:
+
+* by the region's exact vertex set, reused when no member vertex is in the
+  tracker's dirty set (ownership and adjacency provably unchanged — region
+  merges and splits always change the vertex set);
+* by a canonical region *signature* — the sorted ``(message, chain,
+  targets)`` tuples composing the region — in a bounded LRU, so a region
+  that returns to a previously-seen shape (common while knots persist or
+  traffic cycles through configurations) skips re-analysis even after its
+  vertices went dirty.
+
+Fresh region analysis runs on the *chain-contracted* graph
+(:func:`~repro.core.cycles.contract_graph`): CWGs are mostly unbranched
+ownership chains, so Tarjan, the knot test and Johnson's enumeration all
+run on a several-fold smaller multigraph with provably identical results.
+Per-region censuses merge exactly because bounded cycle counts are
+enumeration-order independent (see :mod:`repro.core.cycles`).
+
+Both detector modes emit deadlock events in one canonical order (knots
+sorted by their least vertex), making cached passes **bit-identical** to
+full passes — asserted over randomized runs by
+``tests/integration/test_detector_caching_equivalence.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Hashable, Optional
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Hashable, Mapping, Optional, Sequence
 
-from repro.core.cwg import ChannelWaitForGraph
-from repro.core.cycles import CycleCount, count_simple_cycles
-from repro.core.knots import find_knots
+from repro.core.cwg import ChannelWaitForGraph, WaitGraphQueries
+from repro.core.cycles import (
+    CycleCount,
+    contract_graph,
+    count_cycles_contracted,
+    count_simple_cycles,
+)
+from repro.core.knots import find_knots, find_knots_contracted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.incremental import IncrementalCWG
     from repro.network.simulator import NetworkSimulator
 
 __all__ = ["DeadlockEvent", "DetectionRecord", "DeadlockDetector", "classify_event"]
@@ -30,6 +67,25 @@ Vertex = Hashable
 
 SINGLE_CYCLE = "single-cycle"
 MULTI_CYCLE = "multi-cycle"
+
+
+def _vertex_key(v: Vertex):
+    """Total order over the mixed vertex universe (ints, strings, tuples).
+
+    VC indices are ints, reception channels are ``("rx", node, index)``
+    tuples, and test galleries use string vertices; tagging by type makes
+    them mutually comparable so knot ordering never depends on hash seeds
+    or dict insertion order.
+    """
+    if isinstance(v, tuple):
+        return (2, tuple(_vertex_key(x) for x in v))
+    if isinstance(v, str):
+        return (1, v)
+    return (0, v)
+
+
+def _knot_key(knot: frozenset[Vertex]):
+    return min(map(_vertex_key, knot))
 
 
 @dataclass(frozen=True)
@@ -87,6 +143,24 @@ class DetectionRecord:
         return bool(self.events)
 
 
+@dataclass
+class _RegionAnalysis:
+    """Cached analysis of one weakly-connected CWG region.
+
+    ``events`` carry the cycle stamp of the pass that computed them and are
+    restamped on reuse; everything else is purely structural.
+    """
+
+    events: tuple[DeadlockEvent, ...]
+    census: Optional[CycleCount]  #: bounded count with the detector's full cap
+
+
+#: regions kept in the signature LRU; each entry is a handful of frozensets
+#: and a CycleCount, so the cap bounds memory without evicting the working
+#: set of a steady-state network (regions per pass ≪ this)
+_SIG_CACHE_CAP = 512
+
+
 class DeadlockDetector:
     """Builds CWGs from a live simulation and identifies knots."""
 
@@ -97,12 +171,17 @@ class DeadlockDetector:
         knot_density_cap: int = 10_000,
         knot_size_enumeration_limit: int = 200,
         record_blocked_durations: bool = False,
+        caching: bool = True,
     ) -> None:
         self.count_cycles = count_cycles
         self.max_cycles_counted = max_cycles_counted
         self.knot_density_cap = knot_density_cap
         self.knot_size_enumeration_limit = knot_size_enumeration_limit
         self.record_blocked_durations = record_blocked_durations
+        #: enables the dirty-region cached pass (needs an incremental
+        #: tracker on the simulator; silently falls back to full passes
+        #: otherwise, so the flag is safe to leave on everywhere)
+        self.caching = caching
         self.records: list[DetectionRecord] = []
         self.events: list[DeadlockEvent] = []
         # short-circuit cache: last full pass and the blocked epoch it saw
@@ -110,6 +189,10 @@ class DeadlockDetector:
         self._sc_epoch = -1
         self._sc_record: Optional[DetectionRecord] = None
         self._sc_blocked: list[int] = []
+        # dirty-region caches (cached mode only)
+        self._cache_sim: Optional["NetworkSimulator"] = None
+        self._prev_regions: dict[frozenset, _RegionAnalysis] = {}
+        self._sig_cache: OrderedDict[tuple, _RegionAnalysis] = OrderedDict()
 
     # -- CWG construction ------------------------------------------------------------
     @staticmethod
@@ -166,6 +249,11 @@ class DeadlockDetector:
         pass that *found* a deadlock is never short-circuited: a persisting
         knot must be re-reported every interval, exactly as the full pass
         would.
+
+        Otherwise the pass runs **cached** (dirty regions only, see the
+        module docstring) when ``caching`` is set and the simulator carries
+        an incremental tracker, or **full** (global Tarjan + Johnson) when
+        not.  The two produce identical records.
         """
         cycle = sim.cycle
         if (
@@ -177,39 +265,26 @@ class DeadlockDetector:
             and sim.blocked_epoch == self._sc_epoch
         ):
             return self._detect_unchanged(sim, cycle)
+
         g = sim.cwg_view() if hasattr(sim, "cwg_view") else sim.cwg_snapshot()
-        adjacency = g.adjacency()
-        knots = find_knots(adjacency)
+        tracker = getattr(sim, "tracker", None)
+        if self.caching and tracker is not None:
+            events, cycle_count = self._analyze_cached(sim, g, tracker, cycle)
+        else:
+            adjacency = g.adjacency()
+            knots = sorted(find_knots(adjacency), key=_knot_key)
+            events = [
+                self._knot_event(g, adjacency, knot, cycle) for knot in knots
+            ]
+            cycle_count = (
+                count_simple_cycles(adjacency, limit=self.max_cycles_counted)
+                if self.count_cycles
+                else None
+            )
 
-        events: list[DeadlockEvent] = []
         all_deadlocked: set[int] = set()
-        for knot in knots:
-            deadlock_set = frozenset(g.messages_owning(knot))
-            resource_set = frozenset(g.resources_of(deadlock_set))
-            sub = {
-                v: [w for w in adjacency[v] if w in knot]
-                for v in knot
-            }
-            density = self._knot_density(sub)
-            deps, transients = self._dependents(g, deadlock_set)
-            event = DeadlockEvent(
-                cycle=cycle,
-                knot=knot,
-                deadlock_set=deadlock_set,
-                resource_set=resource_set,
-                knot_cycle_density=density.count,
-                density_saturated=density.saturated,
-                dependent=deps,
-                transient_dependent=transients,
-            )
-            events.append(event)
-            all_deadlocked.update(deadlock_set)
-
-        cycle_count: Optional[CycleCount] = None
-        if self.count_cycles:
-            cycle_count = count_simple_cycles(
-                adjacency, limit=self.max_cycles_counted
-            )
+        for event in events:
+            all_deadlocked.update(event.deadlock_set)
 
         blocked_list = g.blocked_messages()
         blocked_durations: list[tuple[int, int, bool]] = []
@@ -288,6 +363,151 @@ class DeadlockDetector:
         self._sc_record = record
         return record
 
+    # -- per-knot event construction --------------------------------------------------
+    def _knot_event(
+        self,
+        g: WaitGraphQueries,
+        adjacency: Mapping[Vertex, Sequence[Vertex]],
+        knot: frozenset[Vertex],
+        cycle: int,
+    ) -> DeadlockEvent:
+        """Classify one knot into a :class:`DeadlockEvent`.
+
+        ``adjacency`` only needs to cover the knot's own region — deadlock,
+        resource, dependent and transient sets never reach outside the
+        knot's weakly-connected component.
+        """
+        deadlock_set = frozenset(g.messages_owning(knot))
+        resource_set = frozenset(g.resources_of(deadlock_set))
+        sub = {v: [w for w in adjacency[v] if w in knot] for v in knot}
+        density = self._knot_density(sub)
+        deps, transients = self._dependents(g, deadlock_set)
+        return DeadlockEvent(
+            cycle=cycle,
+            knot=knot,
+            deadlock_set=deadlock_set,
+            resource_set=resource_set,
+            knot_cycle_density=density.count,
+            density_saturated=density.saturated,
+            dependent=deps,
+            transient_dependent=transients,
+        )
+
+    # -- dirty-region cached pass -----------------------------------------------------
+    def _analyze_cached(
+        self,
+        sim: "NetworkSimulator",
+        g: WaitGraphQueries,
+        tracker: "IncrementalCWG",
+        cycle: int,
+    ) -> tuple[list[DeadlockEvent], Optional[CycleCount]]:
+        """Events + census via the region partition, reusing cached regions."""
+        if self._cache_sim is not sim:
+            self._cache_sim = sim
+            self._prev_regions = {}
+            self._sig_cache = OrderedDict()
+        dirty = tracker.consume_dirty()
+        adjacency = tracker.adjacency()
+
+        # Weakly-connected regions by union-find over the arcs.
+        parent: dict[Vertex, Vertex] = {v: v for v in adjacency}
+
+        def find(v: Vertex) -> Vertex:
+            root = v
+            while parent[root] != root:
+                root = parent[root]
+            while parent[v] != root:
+                parent[v], v = root, parent[v]
+            return root
+
+        for v, succs in adjacency.items():
+            for w in succs:
+                rv, rw = find(v), find(w)
+                if rv != rw:
+                    parent[rw] = rv
+        components: dict[Vertex, list[Vertex]] = {}
+        for v in adjacency:
+            components.setdefault(find(v), []).append(v)
+
+        buckets: Optional[dict[Vertex, list[tuple]]] = None
+        new_regions: dict[frozenset, _RegionAnalysis] = {}
+        events: list[DeadlockEvent] = []
+        census_total = 0
+        for root, members in components.items():
+            vertex_set = frozenset(members)
+            analysis = self._prev_regions.get(vertex_set)
+            if analysis is None or not dirty.isdisjoint(vertex_set):
+                if buckets is None:
+                    buckets = self._bucket_messages(tracker, find)
+                sig = tuple(
+                    sorted(buckets.get(root, ()), key=lambda t: t[0])
+                )
+                analysis = self._sig_cache.get(sig)
+                if analysis is not None:
+                    self._sig_cache.move_to_end(sig)
+                else:
+                    analysis = self._analyze_region(g, members, adjacency, cycle)
+                    self._sig_cache[sig] = analysis
+                    if len(self._sig_cache) > _SIG_CACHE_CAP:
+                        self._sig_cache.popitem(last=False)
+            new_regions[vertex_set] = analysis
+            events.extend(analysis.events)
+            if analysis.census is not None:
+                census_total += analysis.census.count
+        self._prev_regions = new_regions
+
+        events.sort(key=lambda e: _knot_key(e.knot))
+        events = [e if e.cycle == cycle else replace(e, cycle=cycle) for e in events]
+
+        cycle_count: Optional[CycleCount] = None
+        if self.count_cycles:
+            limit = self.max_cycles_counted
+            if limit < 1:
+                cycle_count = CycleCount(0, True)
+            else:
+                # Exact merge: bounded counts are enumeration-order
+                # independent, so full-budget per-region counts sum to the
+                # global census (see repro.core.cycles).
+                cycle_count = CycleCount(
+                    min(census_total, limit), census_total >= limit
+                )
+        return events, cycle_count
+
+    @staticmethod
+    def _bucket_messages(tracker: "IncrementalCWG", find) -> dict:
+        """Region signatures' raw material: (mid, chain, targets) per region.
+
+        A message's whole chain (and its request targets) lie in one region
+        by construction, so bucketing by the chain head's root is exact.
+        """
+        buckets: dict[Vertex, list[tuple]] = {}
+        for mid, chain in tracker.chains.items():
+            targets = tracker.requests.get(mid)
+            entry = (mid, tuple(chain), tuple(targets) if targets else ())
+            buckets.setdefault(find(chain[0]), []).append(entry)
+        return buckets
+
+    def _analyze_region(
+        self,
+        g: WaitGraphQueries,
+        members: list[Vertex],
+        adjacency: Mapping[Vertex, Sequence[Vertex]],
+        cycle: int,
+    ) -> _RegionAnalysis:
+        """Fresh analysis of one region, on its chain-contracted form."""
+        region_adj = {v: adjacency[v] for v in members}
+        contracted = contract_graph(region_adj)
+        knots = sorted(find_knots_contracted(contracted), key=_knot_key)
+        events = tuple(
+            self._knot_event(g, region_adj, knot, cycle) for knot in knots
+        )
+        census = (
+            count_cycles_contracted(contracted, self.max_cycles_counted)
+            if self.count_cycles
+            else None
+        )
+        return _RegionAnalysis(events=events, census=census)
+
     def _knot_density(self, sub: dict) -> CycleCount:
         """Simple-cycle count within a knot, with structural shortcuts.
 
@@ -313,7 +533,7 @@ class DeadlockDetector:
 
     @staticmethod
     def _dependents(
-        g: ChannelWaitForGraph, deadlock_set: frozenset[int]
+        g: WaitGraphQueries, deadlock_set: frozenset[int]
     ) -> tuple[frozenset[int], frozenset[int]]:
         """Dependent and transient-dependent messages for one deadlock.
 
@@ -323,27 +543,54 @@ class DeadlockDetector:
         yet removing it would not break the knot.  A *transient* dependent
         waits on at least one such resource but also has an alternative, so
         it may escape on its own.
+
+        Implemented as a reverse-ownership worklist: each candidate counts
+        the waited-on owners not yet known to be blocking, and is revisited
+        exactly when one of those owners joins the dependent set — O(waits)
+        total instead of the naive fixed point's O(blocked²) rescans.
         """
+        owner = g.owner
         dependents: set[int] = set()
-        changed = True
-        while changed:
-            changed = False
-            for mid, targets in g.requests.items():
-                if mid in deadlock_set or mid in dependents:
+        # need[mid]: waited-on owners still outside the blocking set; a
+        # message waiting on any free resource can never become dependent
+        # and is excluded up front (as is one waiting on itself — it can
+        # only enter via its own membership, which is circular).
+        need: dict[int, int] = {}
+        waiters_on: dict[int, list[int]] = {}
+        ready: list[int] = []
+        for mid, targets in g.requests.items():
+            if mid in deadlock_set:
+                continue
+            owners = [owner.get(t) for t in targets]
+            if any(o is None for o in owners):
+                continue
+            outstanding = 0
+            for o in owners:
+                if o in deadlock_set:
                     continue
-                owners = [g.owner.get(t) for t in targets]
-                if all(
-                    o is not None and (o in deadlock_set or o in dependents)
-                    for o in owners
-                ):
-                    dependents.add(mid)
-                    changed = True
+                outstanding += 1
+                waiters_on.setdefault(o, []).append(mid)
+            need[mid] = outstanding
+            if outstanding == 0:
+                ready.append(mid)
+        while ready:
+            m = ready.pop()
+            if m in dependents:
+                continue
+            dependents.add(m)
+            for w in waiters_on.get(m, ()):
+                need[w] -= 1
+                if need[w] == 0:
+                    ready.append(w)
+
         transients: set[int] = set()
         blocking = deadlock_set | dependents
         for mid, targets in g.requests.items():
             if mid in deadlock_set or mid in dependents:
                 continue
-            owners = [g.owner.get(t) for t in targets]
-            if any(o in blocking for o in owners if o is not None):
-                transients.add(mid)
+            for t in targets:
+                o = owner.get(t)
+                if o is not None and o in blocking:
+                    transients.add(mid)
+                    break
         return frozenset(dependents), frozenset(transients)

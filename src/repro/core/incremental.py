@@ -21,10 +21,35 @@ The engine drives these hooks when ``cwg_maintenance="incremental"``; the
 equivalence of the maintained graph and the rebuild snapshot is asserted by
 the test-suite over randomized runs, and the two share all downstream
 analysis (knots, cycles, PWFG).
+
+Dirty-vertex tracking
+---------------------
+
+On top of the mirrored graph state, every event records the vertices whose
+ownership or adjacency it touched in ``dirty`` — the **dirty-vertex set**
+the region-cached detector consumes (:meth:`consume_dirty`) to decide
+which weakly-connected regions of the CWG must be re-analyzed.  The
+contract backing that reuse: *if between two detection passes no vertex of
+a weakly-connected region is marked dirty and the region's vertex set is
+unchanged, then the region's internal arcs, ownership labels and request
+sets are unchanged too*.  Every mutation marks at least the source vertex
+of each added/removed arc (arc sources always lie inside the arc's weak
+region) and every vertex whose owner changed; region merges and splits are
+caught by the vertex-set comparison instead.  Re-blocking on an identical
+target set is a graph no-op and deliberately marks nothing — under the
+legacy engine path a blocked header re-requests every cycle, and those
+repeats must not smear dirt across an otherwise quiescent region.
+
+Ownership chains are :class:`collections.deque`\\ s: a tail release pops
+from the left in O(1), where a list would shift the whole chain on every
+tail movement (O(length) per release, paid once per flit at every hop).
+The query surface is unchanged — chains iterate, index at ``[0]``/``[-1]``
+and report ``len`` exactly as before.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Hashable, Iterable
 
 from repro.core.cwg import ChannelWaitForGraph, WaitGraphQueries
@@ -45,11 +70,22 @@ class IncrementalCWG(WaitGraphQueries):
     """
 
     def __init__(self) -> None:
-        self.chains: dict[int, list[Vertex]] = {}
+        self.chains: dict[int, deque[Vertex]] = {}
         self.requests: dict[int, list[Vertex]] = {}
         self.owner: dict[Vertex, int] = {}
+        #: vertices whose ownership or adjacency changed since the last
+        #: :meth:`consume_dirty` — the detector's region-invalidation feed.
+        #: Bounded by the network's resource universe (vertices are reused
+        #: across messages), so an unconsumed set cannot grow without limit.
+        self.dirty: set[Vertex] = set()
         #: counters for introspection / benchmarks
         self.events = 0
+
+    def consume_dirty(self) -> set[Vertex]:
+        """Hand the accumulated dirty-vertex set over and start a fresh one."""
+        out = self.dirty
+        self.dirty = set()
+        return out
 
     # -- event hooks ----------------------------------------------------------------
     def on_acquire(self, message: int, vertex: Vertex) -> None:
@@ -60,7 +96,14 @@ class IncrementalCWG(WaitGraphQueries):
                 f"incremental CWG: {vertex!r} already owned by {holder}"
             )
         self.owner[vertex] = message
-        self.chains.setdefault(message, []).append(vertex)
+        chain = self.chains.get(message)
+        if chain is None:
+            self.chains[message] = deque((vertex,))
+        else:
+            # the old tail gains a solid arc (and sheds its dashed arcs)
+            self.dirty.add(chain[-1])
+            chain.append(vertex)
+        self.dirty.add(vertex)
         # acquiring anything ends the current blocked state
         self.requests.pop(message, None)
 
@@ -70,29 +113,41 @@ class IncrementalCWG(WaitGraphQueries):
         if not chain or chain[0] != vertex:
             raise SimulationError(
                 f"incremental CWG: message {message} releasing {vertex!r} "
-                f"out of tail order (chain {chain})"
+                f"out of tail order (chain {list(chain) if chain else chain})"
             )
-        chain.pop(0)
+        chain.popleft()
         del self.owner[vertex]
-        if not chain:
+        self.dirty.add(vertex)
+        if chain:
+            self.dirty.add(chain[0])
+        else:
             del self.chains[message]
 
     def on_block(self, message: int, targets: Iterable[Vertex]) -> None:
         self.events += 1
-        if message not in self.chains:
+        chain = self.chains.get(message)
+        if chain is None:
             # a source-queued message owns nothing; its waits are not part
             # of the network's resource state
             return
-        self.requests[message] = list(targets)
+        targets = list(targets)
+        if self.requests.get(message) == targets:
+            return  # re-requesting the same set: the graph did not change
+        self.requests[message] = targets
+        self.dirty.add(chain[-1])
 
     def on_unblock(self, message: int) -> None:
         self.events += 1
-        self.requests.pop(message, None)
+        if self.requests.pop(message, None) is not None:
+            self.dirty.add(self.chains[message][-1])
 
     def on_done(self, message: int) -> None:
         self.events += 1
-        for vertex in self.chains.pop(message, ()):
-            del self.owner[vertex]
+        chain = self.chains.pop(message, None)
+        if chain is not None:
+            for vertex in chain:
+                del self.owner[vertex]
+            self.dirty.update(chain)
         self.requests.pop(message, None)
 
     # -- views ------------------------------------------------------------------------
@@ -127,10 +182,12 @@ class IncrementalCWG(WaitGraphQueries):
         """Successor lists, built directly (no snapshot materialization)."""
         adj: dict[Vertex, list[Vertex]] = {}
         for chain in self.chains.values():
+            prev: Vertex | None = None
             for v in chain:
                 adj.setdefault(v, [])
-            for u, v in zip(chain, chain[1:]):
-                adj[u].append(v)
+                if prev is not None:
+                    adj[prev].append(v)
+                prev = v
         for message, targets in self.requests.items():
             chain = self.chains.get(message)
             if not chain:

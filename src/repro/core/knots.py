@@ -19,9 +19,17 @@ the condensation.  Complexity O(V + E) per detection.
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Sequence
+from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
 
-__all__ = ["strongly_connected_components", "find_knots", "knot_of_vertex"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cycles import ContractedGraph
+
+__all__ = [
+    "strongly_connected_components",
+    "find_knots",
+    "find_knots_contracted",
+    "knot_of_vertex",
+]
 
 Vertex = Hashable
 
@@ -113,6 +121,52 @@ def find_knots(
                 break
         if is_sink and has_internal_arc:
             knots.append(frozenset(comp))
+    return knots
+
+
+def find_knots_contracted(contracted: "ContractedGraph") -> list[frozenset[Vertex]]:
+    """All knots of a chain-contracted graph, expanded to original vertices.
+
+    Knot structure survives the contraction of
+    :func:`~repro.core.cycles.contract_graph` exactly: interior vertices of
+    a contracted arc have out-degree 1, so no escape arc can originate
+    inside one — a sink SCC of the contracted multigraph therefore expands
+    (kept members plus the interiors of their intra-component arcs) to a
+    sink SCC of the original graph, and vice versa.  A *ring* (a cycle of
+    pure pass-through vertices) has no kept member at all and is always a
+    knot: every vertex's single arc stays inside the ring.
+
+    Returns the same knot *sets* as :func:`find_knots` on the uncontracted
+    adjacency, in an unspecified order — callers needing a stable order
+    sort canonically (the detector does).
+    """
+    succ = contracted.succ
+    paths = contracted.paths
+    sccs = strongly_connected_components(succ)
+    comp_of: dict[Vertex, int] = {}
+    for i, comp in enumerate(sccs):
+        for v in comp:
+            comp_of[v] = i
+    knots: list[frozenset[Vertex]] = [frozenset(ring) for ring in contracted.rings]
+    for i, comp in enumerate(sccs):
+        has_internal_arc = len(comp) > 1
+        is_sink = True
+        for v in comp:
+            for w in succ.get(v, ()):
+                if comp_of[w] != i:
+                    is_sink = False
+                    break
+                if w == v:
+                    has_internal_arc = True  # self-loop
+            if not is_sink:
+                break
+        if not (is_sink and has_internal_arc):
+            continue
+        expanded: set[Vertex] = set(comp)
+        for v in comp:
+            for interior in paths.get(v, ()):
+                expanded.update(interior)
+        knots.append(frozenset(expanded))
     return knots
 
 

@@ -8,17 +8,28 @@ path: each point builds its own simulator from a picklable
 :class:`~repro.config.SimulationConfig`, and every simulation is
 deterministic given its seed.
 
-The per-point entry function is module-level so it pickles under the
+Tasks are submitted in chunks (a few configs per pool round-trip) so
+pickling overhead does not dominate short sweep points, results are always
+yielded in submission order (so the optional ``progress`` callback fires in
+the same order as the serial sweep's), and a worker failure is re-raised in
+the parent as a :class:`~repro.errors.SimulationError` naming the failing
+configuration's label — not an anonymous traceback from the middle of a
+pool.
+
+The per-point entry functions are module-level so they pickle under the
 default ``spawn``/``fork`` start methods.
 """
 
 from __future__ import annotations
 
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.config import SimulationConfig
+from repro.errors import SimulationError
 from repro.metrics.stats import RunResult
 from repro.metrics.sweep import SweepResult
 
@@ -32,10 +43,88 @@ def run_point(config: SimulationConfig) -> RunResult:
     return NetworkSimulator(config).run()
 
 
+@dataclass
+class _PointFailure:
+    """A worker-side exception, shipped back instead of raised.
+
+    Raising inside a chunked ``pool.map`` loses track of which config blew
+    up (the whole chunk surfaces as one exception at the chunk's first
+    index); returning the failure as a value keeps the association exact.
+    """
+
+    label: str
+    error: str
+    trace: str
+
+
+def _run_point_guarded(config: SimulationConfig) -> RunResult | _PointFailure:
+    try:
+        return run_point(config)
+    except Exception as exc:  # noqa: BLE001 - re-raised with context in parent
+        return _PointFailure(
+            label=config.label(),
+            error=f"{type(exc).__name__}: {exc}",
+            trace=traceback.format_exc(),
+        )
+
+
 def _resolve_workers(max_workers: Optional[int]) -> int:
     if max_workers is not None:
         return max(1, max_workers)
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _chunksize(num_tasks: int, workers: int) -> int:
+    """A few chunks per worker: amortizes pickling without starving the pool.
+
+    Four rounds per worker keeps the tail short when point runtimes are
+    uneven (high-load points take much longer than low-load ones).
+    """
+    return max(1, num_tasks // (workers * 4))
+
+
+def _checked(
+    results: Iterable[RunResult | _PointFailure],
+    configs: Sequence[SimulationConfig],
+) -> Iterator[RunResult]:
+    """Unwrap guarded results in submission order, raising labelled failures."""
+    for config, result in zip(configs, results):
+        if isinstance(result, _PointFailure):
+            raise SimulationError(
+                f"sweep point {result.label!r} failed: {result.error}\n"
+                f"{result.trace}"
+            )
+        yield result
+
+
+def _run_batch(
+    configs: Sequence[SimulationConfig],
+    workers: int,
+    on_result: Optional[Callable[[SimulationConfig, RunResult], None]],
+) -> list[RunResult]:
+    """Run a batch across the pool, in-order results + per-result callback."""
+    if workers == 1 or len(configs) <= 1:
+        raw: Iterable[RunResult | _PointFailure] = map(
+            _run_point_guarded, configs
+        )
+        out: list[RunResult] = []
+        for cfg, result in zip(configs, _checked(raw, configs)):
+            out.append(result)
+            if on_result is not None:
+                on_result(cfg, result)
+        return out
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        raw = pool.map(
+            _run_point_guarded,
+            configs,
+            chunksize=_chunksize(len(configs), workers),
+        )
+        out = []
+        for cfg, result in zip(configs, _checked(raw, configs)):
+            out.append(result)
+            if on_result is not None:
+                on_result(cfg, result)
+        return out
 
 
 def run_load_sweep_parallel(
@@ -44,22 +133,26 @@ def run_load_sweep_parallel(
     label: str = "",
     *,
     max_workers: Optional[int] = None,
+    progress: Callable[[float, RunResult], None] | None = None,
 ) -> SweepResult:
     """Parallel drop-in for :func:`repro.metrics.sweep.run_load_sweep`.
 
     Results arrive in load order regardless of completion order, so the
-    output is identical to the serial sweep for the same configs.
+    output — and the ``progress(load, result)`` callback sequence, which
+    matches the serial sweep's signature — is identical to the serial path
+    for the same configs.
     """
     from repro.network.simulator import build_topology
 
     capacity = build_topology(base).capacity_flits_per_node_cycle
     configs = [base.replace(load=load) for load in loads]
     workers = _resolve_workers(max_workers)
-    if workers == 1 or len(configs) == 1:
-        results = [run_point(cfg) for cfg in configs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(run_point, configs))
+    on_result = (
+        (lambda cfg, res: progress(cfg.load, res))
+        if progress is not None
+        else None
+    )
+    results = _run_batch(configs, workers, on_result)
     return SweepResult(
         label=label or base.label(),
         loads=list(loads),
@@ -72,10 +165,12 @@ def run_matrix_parallel(
     configs: Sequence[SimulationConfig],
     *,
     max_workers: Optional[int] = None,
+    progress: Callable[[SimulationConfig, RunResult], None] | None = None,
 ) -> list[RunResult]:
-    """Run an arbitrary batch of configurations across the pool."""
+    """Run an arbitrary batch of configurations across the pool.
+
+    ``progress`` receives ``(config, result)`` pairs in submission order as
+    results are retrieved.
+    """
     workers = _resolve_workers(max_workers)
-    if workers == 1 or len(configs) <= 1:
-        return [run_point(cfg) for cfg in configs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_point, configs))
+    return _run_batch(list(configs), workers, progress)

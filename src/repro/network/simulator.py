@@ -43,6 +43,13 @@ cycle:
   transitions, letting :class:`~repro.core.detector.DeadlockDetector`
   short-circuit a detection pass when nothing the CWG depends on changed.
 
+With ``cwg_maintenance="incremental"`` the engine additionally drives an
+:class:`~repro.core.incremental.IncrementalCWG` tracker from the same
+resource events; its dirty-vertex feed powers the detector's dirty-region
+caching (``detector_caching``, see :mod:`repro.core.detector`), which
+re-analyzes only the weakly-connected CWG regions touched since the
+previous pass.
+
 The fast path is bit-identical to the legacy path: the same seed produces
 the same :class:`~repro.metrics.stats.RunResult` and the same deadlock
 event sequence (asserted by ``tests/integration/
@@ -140,6 +147,7 @@ class NetworkSimulator:
             count_cycles=config.count_cycles,
             max_cycles_counted=config.max_cycles_counted,
             record_blocked_durations=config.record_blocked_durations,
+            caching=config.detector_caching,
         )
         self.stats = StatsCollector(config, self.topology)
         self.tracker = (

@@ -1,0 +1,226 @@
+"""Dirty-vertex tracking, deque chains and the dependents worklist.
+
+The dirty-region detector's reuse rule is: a weakly-connected region whose
+vertex set is unchanged and contains no dirty vertex is structurally
+unchanged.  These tests pin the marking side of that contract — every
+:class:`IncrementalCWG` event hook must dirty (at least) the vertices whose
+ownership or adjacency it touched — plus the O(1) deque chain semantics and
+the rewritten reverse-ownership worklist in
+:meth:`DeadlockDetector._dependents` against the naive fixed point it
+replaced.
+"""
+
+import random
+from collections import deque
+
+from repro.core.detector import DeadlockDetector
+from repro.core.cwg import ChannelWaitForGraph
+from repro.core.gallery import figure2_cwg
+from repro.core.incremental import IncrementalCWG
+
+
+class TestDirtyMarking:
+    def test_starts_clean(self):
+        t = IncrementalCWG()
+        assert t.consume_dirty() == set()
+
+    def test_acquire_marks_vertex_and_old_tail(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        assert t.consume_dirty() == {"a"}
+        t.on_acquire(1, "b")
+        # "a" regains dirt: it just gained a solid arc to "b"
+        assert t.consume_dirty() == {"a", "b"}
+
+    def test_release_marks_vertex_and_new_head(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_acquire(1, "b")
+        t.consume_dirty()
+        t.on_release(1, "a")
+        assert t.consume_dirty() == {"a", "b"}
+        t.on_release(1, "b")
+        assert t.consume_dirty() == {"b"}
+
+    def test_block_marks_tail_once(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.consume_dirty()
+        t.on_block(1, ["x", "y"])
+        assert t.consume_dirty() == {"a"}
+        # identical re-request: a graph no-op, must NOT dirty anything
+        t.on_block(1, ["x", "y"])
+        assert t.consume_dirty() == set()
+        # changed target set: dirty again
+        t.on_block(1, ["x"])
+        assert t.consume_dirty() == {"a"}
+
+    def test_block_without_chain_is_ignored(self):
+        t = IncrementalCWG()
+        t.on_block(99, ["x"])
+        assert t.consume_dirty() == set()
+        assert 99 not in t.requests
+
+    def test_unblock_marks_tail(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_block(1, ["x"])
+        t.consume_dirty()
+        t.on_unblock(1)
+        assert t.consume_dirty() == {"a"}
+        # unblock with no outstanding request: nothing changed
+        t.on_unblock(1)
+        assert t.consume_dirty() == set()
+
+    def test_done_marks_whole_chain(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_acquire(1, "b")
+        t.on_acquire(1, "c")
+        t.on_block(1, ["x"])
+        t.consume_dirty()
+        t.on_done(1)
+        assert t.consume_dirty() == {"a", "b", "c"}
+        assert t.owner == {}
+        assert t.requests == {}
+
+    def test_consume_resets(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        first = t.consume_dirty()
+        assert first == {"a"}
+        assert t.consume_dirty() == set()
+
+
+class TestDequeChains:
+    def test_chains_are_deques(self):
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        assert isinstance(t.chains[1], deque)
+
+    def test_query_surface_unchanged(self):
+        """Everything WaitGraphQueries touches: len, iterate, [0]/[-1]."""
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_acquire(1, "b")
+        t.on_acquire(1, "c")
+        chain = t.chains[1]
+        assert len(chain) == 3
+        assert list(chain) == ["a", "b", "c"]
+        assert chain[0] == "a" and chain[-1] == "c"
+        t.on_block(1, ["x"])
+        assert t.num_arcs == 3  # two solid + one dashed
+        assert t.resources_of([1]) == {"a", "b", "c"}
+        snap = t.snapshot()
+        assert snap.chains[1] == ["a", "b", "c"]
+        assert t.adjacency() == snap.adjacency()
+
+    def test_release_order_enforced(self):
+        import pytest
+
+        from repro.errors import SimulationError
+
+        t = IncrementalCWG()
+        t.on_acquire(1, "a")
+        t.on_acquire(1, "b")
+        with pytest.raises(SimulationError):
+            t.on_release(1, "b")  # head is "a"
+
+
+# -- the dependents worklist vs the naive fixed point --------------------------------
+
+
+def _naive_dependents(g, deadlock_set):
+    """The pre-rewrite O(blocked²) fixed point, kept as the oracle."""
+    dependents = set()
+    changed = True
+    while changed:
+        changed = False
+        for mid, targets in g.requests.items():
+            if mid in deadlock_set or mid in dependents:
+                continue
+            owners = [g.owner.get(t) for t in targets]
+            if all(
+                o is not None and (o in deadlock_set or o in dependents)
+                for o in owners
+            ):
+                dependents.add(mid)
+                changed = True
+    transients = set()
+    blocking = deadlock_set | dependents
+    for mid, targets in g.requests.items():
+        if mid in deadlock_set or mid in dependents:
+            continue
+        owners = [g.owner.get(t) for t in targets]
+        if any(o in blocking for o in owners if o is not None):
+            transients.add(mid)
+    return frozenset(dependents), frozenset(transients)
+
+
+def test_dependents_figure2():
+    g = figure2_cwg()
+    deadlock_set = frozenset({1, 2, 3, 4})
+    deps, transients = DeadlockDetector._dependents(g, deadlock_set)
+    assert deps == frozenset({6})
+    assert transients == frozenset()
+    assert (deps, transients) == _naive_dependents(g, deadlock_set)
+
+
+def test_dependents_chain_of_waiters():
+    """m2 waits on m1's VC, m3 on m2's: both join via the worklist ripple."""
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a"])
+    g.add_ownership_chain(2, ["b"])
+    g.add_ownership_chain(3, ["c"])
+    g.add_request(2, ["a"])
+    g.add_request(3, ["b"])
+    deps, transients = DeadlockDetector._dependents(g, frozenset({1}))
+    assert deps == frozenset({2, 3})
+    assert transients == frozenset()
+
+
+def test_dependents_free_alternative_is_transient_at_most():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a"])
+    g.add_ownership_chain(2, ["b"])
+    g.add_request(2, ["a", "free"])  # one alternative is unowned
+    deps, transients = DeadlockDetector._dependents(g, frozenset({1}))
+    assert deps == frozenset()
+    assert transients == frozenset({2})
+
+
+def test_dependents_self_wait_never_joins():
+    g = ChannelWaitForGraph()
+    g.add_ownership_chain(1, ["a"])
+    g.add_ownership_chain(2, ["b", "c"])
+    g.add_request(2, ["a", "b"])  # waits on the deadlock AND on itself
+    deps, transients = DeadlockDetector._dependents(g, frozenset({1}))
+    assert deps == frozenset()
+    assert transients == frozenset({2})
+
+
+def test_dependents_matches_naive_randomized():
+    rng = random.Random(123)
+    for _ in range(200):
+        g = ChannelWaitForGraph()
+        n_msgs = rng.randint(2, 12)
+        vertex = 0
+        for m in range(n_msgs):
+            chain = list(range(vertex, vertex + rng.randint(1, 3)))
+            vertex += len(chain)
+            g.add_ownership_chain(m, chain)
+        for m in range(n_msgs):
+            if rng.random() < 0.7:
+                # wait on a mix of owned and free vertices
+                targets = rng.sample(range(vertex + 4), rng.randint(1, 3))
+                g.add_request(m, targets)
+        deadlock_set = frozenset(
+            m for m in range(n_msgs) if rng.random() < 0.3
+        )
+        assert DeadlockDetector._dependents(
+            g, deadlock_set
+        ) == _naive_dependents(g, deadlock_set), (
+            dict(g.chains),
+            dict(g.requests),
+            deadlock_set,
+        )

@@ -30,10 +30,10 @@ class TestUnitEvents:
         t = IncrementalCWG()
         t.on_acquire(1, "a")
         t.on_acquire(1, "b")
-        assert t.chains[1] == ["a", "b"]
+        assert list(t.chains[1]) == ["a", "b"]
         assert t.owner == {"a": 1, "b": 1}
         t.on_release(1, "a")
-        assert t.chains[1] == ["b"]
+        assert list(t.chains[1]) == ["b"]
         t.on_release(1, "b")
         assert 1 not in t.chains
         assert t.owner == {}

@@ -1,0 +1,88 @@
+"""Chunked submission, progress callbacks and labelled worker failures."""
+
+import pytest
+
+from repro.config import tiny_default
+from repro.errors import SimulationError
+from repro.metrics.parallel import (
+    _chunksize,
+    run_load_sweep_parallel,
+    run_matrix_parallel,
+)
+from repro.metrics.sweep import run_load_sweep
+
+FAST = dict(measure_cycles=400, warmup_cycles=50)
+
+
+class TestChunksize:
+    def test_few_tasks_never_starve_the_pool(self):
+        assert _chunksize(1, 8) == 1
+        assert _chunksize(8, 8) == 1
+        assert _chunksize(31, 8) == 1
+
+    def test_large_batches_amortize(self):
+        assert _chunksize(64, 4) == 4
+        assert _chunksize(1000, 8) == 31
+
+
+class TestProgress:
+    def test_sweep_progress_in_load_order(self):
+        cfg = tiny_default(**FAST)
+        loads = [0.2, 0.4, 0.6]
+        seen = []
+        sweep = run_load_sweep_parallel(
+            cfg,
+            loads,
+            max_workers=2,
+            progress=lambda load, result: seen.append((load, result.delivered)),
+        )
+        assert [load for load, _ in seen] == loads
+        assert [d for _, d in seen] == [r.delivered for r in sweep.results]
+
+    def test_sweep_progress_matches_serial_callback(self):
+        """Same callback signature and sequence as the serial sweep."""
+        cfg = tiny_default(**FAST)
+        loads = [0.3, 0.5]
+        serial_seen, parallel_seen = [], []
+        run_load_sweep(
+            cfg, loads, progress=lambda l, r: serial_seen.append((l, r.delivered))
+        )
+        run_load_sweep_parallel(
+            cfg,
+            loads,
+            max_workers=2,
+            progress=lambda l, r: parallel_seen.append((l, r.delivered)),
+        )
+        assert parallel_seen == serial_seen
+
+    def test_serial_fallback_progress(self):
+        cfg = tiny_default(**FAST)
+        seen = []
+        run_load_sweep_parallel(
+            cfg, [0.3], max_workers=1, progress=lambda l, r: seen.append(l)
+        )
+        assert seen == [0.3]
+
+    def test_matrix_progress_in_submission_order(self):
+        cfgs = [tiny_default(load=l, **FAST) for l in (0.2, 0.4, 0.6)]
+        seen = []
+        run_matrix_parallel(
+            cfgs, max_workers=2, progress=lambda cfg, r: seen.append(cfg.load)
+        )
+        assert seen == [0.2, 0.4, 0.6]
+
+
+class TestFailureLabelling:
+    def test_worker_failure_names_the_config(self):
+        good = tiny_default(**FAST)
+        bad = good.replace(num_vcs=0)  # rejected by validate() in the worker
+        with pytest.raises(SimulationError) as exc_info:
+            run_matrix_parallel([good, bad, good], max_workers=2)
+        assert bad.label() in str(exc_info.value)
+        assert "num_vcs" in str(exc_info.value)  # original cause included
+
+    def test_serial_failure_names_the_config(self):
+        bad = tiny_default(**FAST).replace(num_vcs=0)
+        with pytest.raises(SimulationError) as exc_info:
+            run_matrix_parallel([bad], max_workers=1)
+        assert bad.label() in str(exc_info.value)
