@@ -81,6 +81,9 @@ def _timed_cycles_per_sec(
         measure_cycles=1,
         seed=1,
         engine_fast_path=engine_fast_path,
+        # benchmarks time the engine, never the correctness net: pin the
+        # runtime invariant checker off even if the project default changes
+        validation_level=0,
         **spec["overrides"],
     )
     sim = NetworkSimulator(cfg)
@@ -113,6 +116,7 @@ def _detector_us_per_pass(engine_fast_path: bool) -> float:
         cwg_maintenance="incremental",
         count_cycles=False,
         engine_fast_path=engine_fast_path,
+        validation_level=0,
     )
     sim = NetworkSimulator(cfg)
     for _ in range(200):
@@ -146,6 +150,7 @@ def _detector_census_us_per_pass(detector_caching: bool) -> float:
         cwg_maintenance="incremental",
         count_cycles=True,
         detector_caching=detector_caching,
+        validation_level=0,
     )
     sim = NetworkSimulator(cfg)
     for _ in range(1200):

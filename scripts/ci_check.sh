@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full test suite plus a quick benchmark smoke.
+# Tier-1 gate: full test suite, benchmark smoke, differential fuzz smoke.
 #
 #   scripts/ci_check.sh
 #
-# 1. runs the test suite exactly as the roadmap's tier-1 command does;
-# 2. regenerates the benchmark numbers in quick mode and fails when
+# 1. runs the fast test set (everything not marked `slow`) for quick signal;
+# 2. runs the `slow`-marked tests in a separate pass;
+# 3. regenerates the benchmark numbers in quick mode and fails when
 #    cycles/sec regressed >20% against the committed BENCH_core.json
-#    (or when the fast-path speedup fell below the 2x acceptance bar).
+#    (or when the fast-path speedup fell below the 2x acceptance bar);
+# 4. runs the differential fuzz smoke sweep: 25 seeded random configs
+#    cross-checked on the engine/detector/CWG axes under a 60 s budget
+#    (deterministic — a CI failure replays locally with the same command).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1 tests =="
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+echo "== tier-1 tests (fast set) =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m "not slow"
+
+echo "== tier-1 tests (slow set) =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m slow
 
 echo "== benchmark smoke (vs committed BENCH_core.json) =="
 python scripts/bench_baseline.py --check
+
+echo "== differential fuzz smoke (see docs/TESTING.md) =="
+python scripts/fuzz_differential.py --smoke --quiet
 
 echo "ci_check: OK"

@@ -77,6 +77,14 @@ class SimulationConfig:
     measure_cycles: int = 30_000  #: measured cycles (paper: 30,000 past steady state)
     seed: int = 1  #: RNG seed (runs are fully deterministic given the seed)
     check_invariants: bool = False  #: run conservation checks every cycle (slow)
+    #: runtime invariant checker (:mod:`repro.validation.invariants`):
+    #: 0 = off (the default — benchmarks and production sweeps must not pay
+    #: for validation), 1 = run the full check battery every
+    #: ``validation_interval`` cycles, 2 = run it every cycle.  Levels 1–2
+    #: also verify every detector-reported deadlock against the knot
+    #: definition at each detection, before recovery acts on it.
+    validation_level: int = 0
+    validation_interval: int = 100  #: sampling period for validation_level=1
     #: incremental activity tracking in the engine hot path plus detection
     #: short-circuiting.  Bit-identical to the legacy full-rescan path (same
     #: seed -> same RunResult); off selects the legacy path for A/B tests.
@@ -113,6 +121,14 @@ class SimulationConfig:
             )
         if self.warmup_cycles < 0 or self.measure_cycles < 1:
             raise ConfigurationError("invalid warmup/measure cycle counts")
+        if self.validation_level not in (0, 1, 2):
+            raise ConfigurationError(
+                f"validation_level must be 0, 1 or 2, got {self.validation_level}"
+            )
+        if self.validation_interval < 1:
+            raise ConfigurationError(
+                f"validation_interval must be >= 1, got {self.validation_interval}"
+            )
         if self.mesh and not self.bidirectional:
             raise ConfigurationError("meshes are always bidirectional")
         if self.mesh and self.failed_links:

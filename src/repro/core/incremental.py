@@ -54,6 +54,7 @@ from typing import Hashable, Iterable
 
 from repro.core.cwg import ChannelWaitForGraph, WaitGraphQueries
 from repro.errors import SimulationError
+from repro.faults import active_faults
 
 __all__ = ["IncrementalCWG"]
 
@@ -80,6 +81,11 @@ class IncrementalCWG(WaitGraphQueries):
         self.dirty: set[Vertex] = set()
         #: counters for introspection / benchmarks
         self.events = 0
+        # test-only fault injection (repro.faults): sampled once here so the
+        # event hot path pays nothing when no fault is armed
+        faults = active_faults()
+        self._fault_skip_dirty_acquire = "skip-dirty-acquire" in faults
+        self._fault_skip_dirty_block = "skip-dirty-block" in faults
 
     def consume_dirty(self) -> set[Vertex]:
         """Hand the accumulated dirty-vertex set over and start a fresh one."""
@@ -101,9 +107,11 @@ class IncrementalCWG(WaitGraphQueries):
             self.chains[message] = deque((vertex,))
         else:
             # the old tail gains a solid arc (and sheds its dashed arcs)
-            self.dirty.add(chain[-1])
+            if not self._fault_skip_dirty_acquire:
+                self.dirty.add(chain[-1])
             chain.append(vertex)
-        self.dirty.add(vertex)
+        if not self._fault_skip_dirty_acquire:
+            self.dirty.add(vertex)
         # acquiring anything ends the current blocked state
         self.requests.pop(message, None)
 
@@ -134,7 +142,8 @@ class IncrementalCWG(WaitGraphQueries):
         if self.requests.get(message) == targets:
             return  # re-requesting the same set: the graph did not change
         self.requests[message] = targets
-        self.dirty.add(chain[-1])
+        if not self._fault_skip_dirty_block:
+            self.dirty.add(chain[-1])
 
     def on_unblock(self, message: int) -> None:
         self.events += 1
@@ -214,3 +223,54 @@ class IncrementalCWG(WaitGraphQueries):
         for m in self.requests:
             if m not in self.chains:
                 raise SimulationError(f"requests retained for chainless {m}")
+
+    def assert_matches(self, rebuilt: ChannelWaitForGraph) -> None:
+        """The maintained graph must equal a from-scratch rebuild.
+
+        Extends :meth:`assert_consistent` (which checks *internal* coherence
+        of the mirrored state) with the external ground truth: chains,
+        requests and non-free ownership must be identical to a
+        :class:`ChannelWaitForGraph` rebuilt from the live network by
+        :meth:`~repro.core.detector.DeadlockDetector.build_cwg`.  Raises
+        :class:`~repro.errors.SimulationError` naming the first divergence.
+        """
+        self.assert_consistent()
+        mine = {m: list(c) for m, c in self.chains.items()}
+        theirs = dict(rebuilt.chains)
+        if mine != theirs:
+            diff = sorted(
+                m
+                for m in set(mine) | set(theirs)
+                if mine.get(m) != theirs.get(m)
+            )
+            raise SimulationError(
+                f"incremental CWG chains diverge from rebuild for messages "
+                f"{diff[:5]}: maintained={[mine.get(m) for m in diff[:5]]} "
+                f"rebuilt={[theirs.get(m) for m in diff[:5]]}"
+            )
+        my_req = {m: list(t) for m, t in self.requests.items()}
+        their_req = dict(rebuilt.requests)
+        if my_req != their_req:
+            diff = sorted(
+                m
+                for m in set(my_req) | set(their_req)
+                if my_req.get(m) != their_req.get(m)
+            )
+            raise SimulationError(
+                f"incremental CWG requests diverge from rebuild for messages "
+                f"{diff[:5]}: maintained={[my_req.get(m) for m in diff[:5]]} "
+                f"rebuilt={[their_req.get(m) for m in diff[:5]]}"
+            )
+        their_owner = {
+            v: o for v, o in rebuilt.owner.items() if o is not None
+        }
+        if self.owner != their_owner:
+            diff = [
+                v
+                for v in set(self.owner) | set(their_owner)
+                if self.owner.get(v) != their_owner.get(v)
+            ]
+            raise SimulationError(
+                f"incremental CWG ownership diverges from rebuild at "
+                f"vertices {diff[:5]}"
+            )

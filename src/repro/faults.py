@@ -1,0 +1,61 @@
+"""Test-only fault injection: deliberately break internal bookkeeping.
+
+The differential fuzz harness (:mod:`repro.validation.differential`) and
+the runtime invariant checker (:mod:`repro.validation.invariants`) exist to
+catch exactly the class of bug where an incrementally-maintained structure
+silently drifts from the ground truth it caches.  To *prove* the net has
+teeth, the test-suite must be able to introduce such a drift on demand.
+
+Setting the ``REPRO_INJECT_FAULT`` environment variable to a
+comma-separated list of fault names arms the corresponding injection
+points.  Faults are sampled **once per object construction** (simulator /
+tracker), so tests set the variable, build a simulation, and restore the
+environment afterwards; production code paths never read the variable in
+a hot loop.
+
+Known fault names:
+
+``skip-dirty-acquire``
+    :class:`~repro.core.incremental.IncrementalCWG` omits the dirty-vertex
+    marks of ``on_acquire`` — the region-cached detector may then reuse a
+    stale analysis for a region whose internal arcs changed.
+
+``skip-dirty-block``
+    ``on_block`` omits its dirty mark when a blocked message's request-set
+    changes, hiding dashed-arc churn from the dirty-region detector.
+
+``skip-wake``
+    :class:`~repro.network.simulator.NetworkSimulator` never clears the
+    ``stalled`` flag when a waited-on resource frees — stalled messages
+    sleep forever on the engine fast path, diverging from the legacy path.
+
+This module is intentionally tiny and dependency-free so that core modules
+can import it without layering concerns.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["active_faults"]
+
+ENV_VAR = "REPRO_INJECT_FAULT"
+
+KNOWN_FAULTS = frozenset(
+    {"skip-dirty-acquire", "skip-dirty-block", "skip-wake"}
+)
+
+
+def active_faults() -> frozenset[str]:
+    """The currently-armed fault names (empty outside fault-injection tests)."""
+    raw = os.environ.get(ENV_VAR, "")
+    if not raw:
+        return frozenset()
+    faults = frozenset(f.strip() for f in raw.split(",") if f.strip())
+    unknown = faults - KNOWN_FAULTS
+    if unknown:
+        raise ValueError(
+            f"unknown fault name(s) {sorted(unknown)} in ${ENV_VAR}; "
+            f"known: {sorted(KNOWN_FAULTS)}"
+        )
+    return faults

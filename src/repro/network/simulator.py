@@ -69,6 +69,7 @@ from repro.core.detector import DeadlockDetector, DeadlockEvent, DetectionRecord
 from repro.core.incremental import IncrementalCWG
 from repro.core.recovery import RecoveryPolicy, make_recovery
 from repro.errors import SimulationError
+from repro.faults import active_faults
 from repro.metrics.stats import RunResult, StatsCollector
 from repro.network.channels import ChannelPool, VirtualChannel
 from repro.network.message import Message, MessageStatus
@@ -153,6 +154,12 @@ class NetworkSimulator:
         self.tracker = (
             IncrementalCWG() if config.cwg_maintenance == "incremental" else None
         )
+        # runtime invariant checker (repro.validation); None at level 0
+        from repro.validation.invariants import InvariantChecker
+
+        self.validation = InvariantChecker.from_config(config)
+        # test-only fault injection (repro.faults), sampled once
+        self._fault_skip_wake = "skip-wake" in active_faults()
 
         self.cycle = 0
         self.queues: list[deque[Message]] = [
@@ -356,6 +363,8 @@ class NetworkSimulator:
 
     def _wake(self, key) -> None:
         """A resource was released: unstall every message waiting on it."""
+        if self._fault_skip_wake:
+            return
         waiters = self._wake_index.get(key)
         if waiters:
             live = self._live
@@ -542,6 +551,22 @@ class NetworkSimulator:
                     # hop count (misrouting budgets) may now differ, so the
                     # next attempt must re-derive the awaited set
                     self._drop_wait_keys(msg)
+                if (
+                    tracker is not None
+                    and msg.blocked_since is not None
+                    and msg.needs_next_vc
+                    and tracker.requests.get(msg.id) is not None
+                ):
+                    # same staleness on the maintained CWG: relations whose
+                    # candidates depend on chain length (misrouting budgets)
+                    # may offer a different set now that the tail drained;
+                    # refresh the dashed arcs so the tracker stays equal to
+                    # a from-scratch rebuild (position-pure relations hit
+                    # the memoized set and the tracker dedupes the no-op)
+                    tracker.on_block(
+                        msg.id,
+                        [vc.index for vc in self.route_candidates(msg)],
+                    )
             if msg.recovering:
                 if msg.teardown_complete and not msg.vcs:
                     torn_down.append(msg)
@@ -587,6 +612,10 @@ class NetworkSimulator:
         # True (knot) detection always runs: in timeout mode it provides the
         # ground truth against which the heuristic's recoveries are judged.
         record = self.detector.detect(self)
+        if self.validation is not None:
+            # verify reported knots against the definition while the state
+            # they describe is still intact (recovery runs next)
+            self.validation.on_detection(self, record)
         if self.config.detection_mode == "timeout":
             self._recover_by_timeout(record)
         else:
@@ -687,6 +716,8 @@ class NetworkSimulator:
         self._phase_detect()
         if self.config.check_invariants:
             self.check_invariants()
+        if self.validation is not None:
+            self.validation.maybe_check(self)
 
     def run(self, progress_every: int = 0) -> RunResult:
         """Run warmup + measurement and return the collected results."""

@@ -1,0 +1,44 @@
+"""Correctness net: runtime invariant checking + differential fuzzing.
+
+Two layers defend the simulator's optimized paths (the activity-tracked
+engine fast path, dirty-region detector caching, incremental CWG
+maintenance) against silent drift from their ground-truth equivalents:
+
+* :mod:`repro.validation.invariants` — a pluggable runtime checker a
+  ``validation_level`` config flag attaches to the engine, asserting flit
+  conservation, channel exclusivity, worm contiguity, activity-flag
+  coherence, incremental-vs-rebuilt CWG equality and knot soundness on a
+  sampling schedule;
+* :mod:`repro.validation.differential` — a deterministic fuzz harness that
+  draws seeded random configurations and cross-checks fast vs legacy
+  engine, cached vs uncached detector and incremental vs rebuilt CWG,
+  shrinking any mismatch to a minimal reproducing configuration.
+
+``scripts/fuzz_differential.py`` is the command-line front end; see
+``docs/TESTING.md`` for the test-pyramid overview.
+"""
+
+from repro.validation.differential import (
+    AXES,
+    FuzzMismatch,
+    check_config,
+    dump_artifact,
+    load_artifact,
+    random_config,
+    run_fuzz,
+    shrink_config,
+)
+from repro.validation.invariants import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "AXES",
+    "FuzzMismatch",
+    "check_config",
+    "random_config",
+    "run_fuzz",
+    "shrink_config",
+    "dump_artifact",
+    "load_artifact",
+]

@@ -1,5 +1,7 @@
 """Unit tests for bounded simple-cycle enumeration."""
 
+import pytest
+
 from repro.core.cycles import CycleCount, count_simple_cycles, enumerate_simple_cycles
 
 
@@ -107,6 +109,7 @@ def test_cyclecount_int_conversion():
     assert int(CycleCount(7, False)) == 7
 
 
+@pytest.mark.slow
 def test_long_cycle_does_not_blow_recursion():
     n = 5_000
     adj = {i: [(i + 1) % n] for i in range(n)}

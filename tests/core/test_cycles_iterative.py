@@ -203,6 +203,7 @@ def test_capped_counts_match_recursive(limit):
         ), adjacency
 
 
+@pytest.mark.slow
 def test_deep_ring_needs_no_recursion_limit():
     """A ring far deeper than CPython's default recursion limit."""
     import sys

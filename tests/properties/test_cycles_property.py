@@ -65,3 +65,24 @@ def test_limit_is_respected(adj, limit):
     assert result.count <= limit or not result.saturated
     if result.saturated:
         assert result.count >= limit
+
+
+@given(random_digraph())
+@settings(max_examples=100, deadline=None)
+def test_count_and_enumerate_agree(adj):
+    """The two entry points share one engine; their answers must match."""
+    result = count_simple_cycles(adj, limit=10_000)
+    cycles, saturated = enumerate_simple_cycles(adj, limit=10_000)
+    assert result.count == len(cycles)
+    assert result.saturated == saturated
+
+
+@given(random_digraph())
+@settings(max_examples=100, deadline=None)
+def test_enumerated_cycles_are_genuine(adj):
+    """Every reported cycle is a closed walk of distinct vertices in adj."""
+    cycles, _ = enumerate_simple_cycles(adj, limit=10_000)
+    for cyc in cycles:
+        assert len(set(cyc)) == len(cyc), "simple cycles repeat no vertex"
+        for u, v in zip(cyc, cyc[1:] + cyc[:1]):
+            assert v in adj[u], f"({u}, {v}) is not an arc of the graph"

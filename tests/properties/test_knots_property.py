@@ -89,3 +89,43 @@ def test_knots_are_disjoint(adj):
     for k in knots:
         assert not (seen & k)
         seen |= k
+
+
+@given(random_digraph(max_nodes=10))
+@settings(max_examples=100, deadline=None)
+def test_escape_arc_destroys_the_knot(adj):
+    """Adding an arc from a knot member to a fresh sink kills that knot.
+
+    This is the graph-level statement of recovery: giving any deadlocked
+    message one path out of the knot (the escape/abort resource) means the
+    set is no longer a knot — exactly why removing one victim suffices.
+    """
+    for knot in find_knots(adj):
+        member = min(knot)
+        escape = max(adj, default=-1) + 1
+        mutated = {v: list(succs) for v, succs in adj.items()}
+        mutated[member] = mutated[member] + [escape]
+        mutated[escape] = []
+        assert knot not in find_knots(mutated)
+
+
+@given(random_digraph(max_nodes=10))
+@settings(max_examples=100, deadline=None)
+def test_vertices_outside_knots_escape_or_terminate(adj):
+    """Any vertex not in a knot can reach a vertex with no successors,
+    or a vertex outside every knot with out-degree 0 -- i.e. it is not
+    trapped: its reachable set is not itself a sink component with arcs."""
+    in_knot = {v for k in find_knots(adj) for v in k}
+    g = nx_graph(adj)
+    for v in adj:
+        if v in in_knot:
+            continue
+        reachable = set(nx.descendants(g, v)) | {v}
+        # a non-knot vertex's closure is never strongly connected with arcs,
+        # unless it merely leads INTO a knot (then the closure is bigger
+        # than any single SCC)
+        sub = g.subgraph(reachable)
+        if nx.is_strongly_connected(sub) and sub.number_of_edges() > 0:
+            raise AssertionError(
+                f"vertex {v} is trapped in {reachable} but not in any knot"
+            )

@@ -1,0 +1,152 @@
+"""Property-based tests for the routing relations.
+
+The routing function defines both behaviour (the allocator picks among its
+candidates) and the CWG's dashed arcs (a blocked header waits on exactly its
+candidates), so these invariants protect the detector as much as the router:
+
+* DOR offers exactly one physical channel, and it is minimal;
+* TFAR offers every VC of every minimal channel, and nothing else;
+* MisroutingTFAR degenerates to TFAR when the budget is exhausted and only
+  ever *adds* channels while budget remains.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.network.channels import ChannelPool
+from repro.network.message import Message
+from repro.network.topology import KAryNCube, Mesh
+from repro.routing.dor import DimensionOrderRouting
+from repro.routing.tfar import MisroutingTFAR, TrueFullyAdaptiveRouting
+
+small_k = st.integers(min_value=2, max_value=5)
+small_n = st.integers(min_value=1, max_value=3)
+vc_counts = st.integers(min_value=1, max_value=3)
+
+
+def make_message(src, dest):
+    return Message(0, src, dest, length=4, created_cycle=0)
+
+
+def draw_pair(data, topology):
+    nodes = st.integers(min_value=0, max_value=topology.num_nodes - 1)
+    src = data.draw(nodes)
+    dest = data.draw(nodes)
+    assume(src != dest)
+    return src, dest
+
+
+@given(small_k, small_n, st.booleans(), vc_counts, st.data())
+@settings(max_examples=80, deadline=None)
+def test_dor_offers_exactly_one_minimal_link(k, n, bidir, num_vcs, data):
+    t = KAryNCube(k, n, bidirectional=bidir)
+    pool = ChannelPool(t, num_vcs=num_vcs, buffer_depth=2)
+    src, dest = draw_pair(data, t)
+    msg = make_message(src, dest)
+    out = DimensionOrderRouting().candidates(msg, src, t, pool)
+    links = {vc.link for vc in out}
+    assert len(links) == 1, "DOR must be non-adaptive: one physical channel"
+    (link,) = links
+    assert link.src == src
+    assert t.min_distance(link.dst, dest) == t.min_distance(src, dest) - 1
+    assert sorted(vc.index for vc in out) == sorted(
+        vc.index for vc in pool.vcs_of_link(link)
+    ), "DOR places no VC restriction on the selected channel"
+
+
+@given(small_k, small_n, vc_counts, st.data())
+@settings(max_examples=60, deadline=None)
+def test_dor_direction_is_static_per_destination(k, n, num_vcs, data):
+    """Two distinct messages with the same (node, dest) get the same link."""
+    t = KAryNCube(k, n)
+    pool = ChannelPool(t, num_vcs=num_vcs, buffer_depth=2)
+    src, dest = draw_pair(data, t)
+    dor = DimensionOrderRouting()
+    a = dor.candidates(make_message(src, dest), src, t, pool)
+    b = dor.candidates(Message(1, src, dest, length=9, created_cycle=5), src, t, pool)
+    assert [vc.index for vc in a] == [vc.index for vc in b]
+
+
+@given(small_k, small_n, st.booleans(), vc_counts, st.data())
+@settings(max_examples=80, deadline=None)
+def test_tfar_offers_exactly_the_minimal_channels(k, n, bidir, num_vcs, data):
+    t = KAryNCube(k, n, bidirectional=bidir)
+    pool = ChannelPool(t, num_vcs=num_vcs, buffer_depth=2)
+    src, dest = draw_pair(data, t)
+    msg = make_message(src, dest)
+    out = TrueFullyAdaptiveRouting().candidates(msg, src, t, pool)
+    d = t.min_distance(src, dest)
+    # minimality: every candidate makes progress
+    for vc in out:
+        assert t.min_distance(vc.link.dst, dest) == d - 1
+    # completeness ("true fully adaptive"): every VC of every minimal
+    # channel is offered, with no VC-class restriction
+    expected = {
+        vc.index for link in t.productive_links(src, dest)
+        for vc in pool.vcs_of_link(link)
+    }
+    assert {vc.index for vc in out} == expected
+
+
+@given(small_k, small_n, vc_counts, st.data())
+@settings(max_examples=60, deadline=None)
+def test_dor_candidates_subset_of_tfar(k, n, num_vcs, data):
+    t = KAryNCube(k, n)
+    pool = ChannelPool(t, num_vcs=num_vcs, buffer_depth=2)
+    src, dest = draw_pair(data, t)
+    msg = make_message(src, dest)
+    dor = {vc.index for vc in DimensionOrderRouting().candidates(msg, src, t, pool)}
+    tfar = {
+        vc.index
+        for vc in TrueFullyAdaptiveRouting().candidates(msg, src, t, pool)
+    }
+    assert dor <= tfar
+
+
+@given(small_k, st.integers(min_value=1, max_value=2), vc_counts, st.data())
+@settings(max_examples=60, deadline=None)
+def test_misrouting_budget_zero_is_plain_tfar(k, n, num_vcs, data):
+    """With no budget and no hops taken, TFAR-mis equals minimal TFAR."""
+    t = KAryNCube(k, n)
+    pool = ChannelPool(t, num_vcs=num_vcs, buffer_depth=2)
+    src, dest = draw_pair(data, t)
+    msg = make_message(src, dest)
+    mis = MisroutingTFAR(misroute_budget=0).candidates(msg, src, t, pool)
+    tfar = TrueFullyAdaptiveRouting().candidates(msg, src, t, pool)
+    assert {vc.index for vc in mis} == {vc.index for vc in tfar}
+
+
+@given(small_k, st.integers(min_value=1, max_value=2),
+       st.integers(min_value=1, max_value=3), st.data())
+@settings(max_examples=60, deadline=None)
+def test_misrouting_only_adds_channels(k, n, budget, data):
+    """A positive budget widens the candidate set, never narrows it."""
+    t = KAryNCube(k, n)
+    pool = ChannelPool(t, num_vcs=1, buffer_depth=2)
+    src, dest = draw_pair(data, t)
+    msg = make_message(src, dest)
+    mis = {
+        vc.index
+        for vc in MisroutingTFAR(misroute_budget=budget).candidates(
+            msg, src, t, pool
+        )
+    }
+    tfar = {
+        vc.index
+        for vc in TrueFullyAdaptiveRouting().candidates(msg, src, t, pool)
+    }
+    assert tfar <= mis
+
+
+@given(small_k, st.integers(min_value=1, max_value=2), st.data())
+@settings(max_examples=40, deadline=None)
+def test_dor_on_mesh_never_uses_wraparound(k, n, data):
+    m = Mesh(k, n)
+    pool = ChannelPool(m, num_vcs=2, buffer_depth=2)
+    src, dest = draw_pair(data, m)
+    out = DimensionOrderRouting().candidates(make_message(src, dest), src, m, pool)
+    for vc in out:
+        cs, cd = m.coords(vc.link.src), m.coords(vc.link.dst)
+        assert sum(abs(a - b) for a, b in zip(cs, cd)) == 1, (
+            "mesh links must connect Manhattan neighbours (no wrap-around)"
+        )

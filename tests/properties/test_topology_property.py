@@ -76,6 +76,51 @@ def test_mesh_distance_is_manhattan(k, n, data):
     assert m.min_distance(a, b) == sum(abs(x - y) for x, y in zip(ca, cb))
 
 
+@given(small_k, small_n, st.data())
+@settings(max_examples=60, deadline=None)
+def test_bidirectional_neighbour_symmetry(k, n, data):
+    """b is a's neighbour iff a is b's neighbour, in a bidirectional torus."""
+    t = KAryNCube(k, n)
+    a = data.draw(st.integers(min_value=0, max_value=t.num_nodes - 1))
+    for link in t.out_links(a):
+        back = {l.dst for l in t.out_links(link.dst)}
+        assert a in back
+    # and the two neighbour sets agree with the link lists both ways
+    assert {l.dst for l in t.out_links(a)} == {l.src for l in t.in_links(a)}
+
+
+@given(small_k, small_n, st.data())
+@settings(max_examples=60, deadline=None)
+def test_neighbour_is_invertible(k, n, data):
+    t = KAryNCube(k, n)
+    node = data.draw(st.integers(min_value=0, max_value=t.num_nodes - 1))
+    dim = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert t.neighbour(t.neighbour(node, dim, +1), dim, -1) == node
+    assert t.neighbour(t.neighbour(node, dim, -1), dim, +1) == node
+
+
+@given(small_k, small_n, st.booleans(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_wraparound_distance_per_dimension(k, n, bidir, data):
+    """Torus distance is the per-dimension ring distance, summed.
+
+    Bidirectional rings take the shorter way around (min of the two arc
+    lengths); unidirectional rings can only go forward, so the distance is
+    the forward offset mod k.
+    """
+    t = KAryNCube(k, n, bidirectional=bidir)
+    a = data.draw(st.integers(min_value=0, max_value=t.num_nodes - 1))
+    b = data.draw(st.integers(min_value=0, max_value=t.num_nodes - 1))
+    ca, cb = t.coords(a), t.coords(b)
+    expected = 0
+    for x, y in zip(ca, cb):
+        if bidir:
+            expected += min((y - x) % k, (x - y) % k)
+        else:
+            expected += (y - x) % k
+    assert t.min_distance(a, b) == expected
+
+
 @given(small_k, small_n, st.booleans(), st.data())
 @settings(max_examples=60, deadline=None)
 def test_triangle_inequality(k, n, bidir, data):

@@ -1,0 +1,151 @@
+"""Tests for the differential fuzz harness (repro.validation.differential).
+
+The critical test here is the *teeth* group: arming an intentional fault
+via ``REPRO_INJECT_FAULT`` and proving the harness reports a mismatch.  A
+differential net that cannot catch a deliberately broken engine is
+decorative; these tests keep it honest.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.incremental import IncrementalCWG
+from repro.faults import ENV_VAR, KNOWN_FAULTS, active_faults
+from repro.validation.differential import (
+    AXES,
+    FuzzMismatch,
+    check_config,
+    dump_artifact,
+    load_artifact,
+    random_config,
+    run_fuzz,
+    shrink_config,
+)
+
+#: deadlocks quickly and is cheap — the engine-axis teeth scenario
+SATURATED = SimulationConfig(
+    k=4,
+    n=2,
+    num_vcs=1,
+    buffer_depth=2,
+    routing="dor",
+    message_length=8,
+    load=1.3,
+    detection_interval=25,
+    warmup_cycles=0,
+    measure_cycles=400,
+    max_cycles_counted=2_000,
+    seed=97,
+)
+
+#: hot-spot traffic makes many small independent congestion regions, so a
+#: region whose only change is a request-arc rewrite keeps its vertex set —
+#: exactly the situation where a skipped dirty mark lets the cached detector
+#: reuse a stale analysis (the detector-axis teeth scenario)
+HOTSPOT = SATURATED.replace(
+    buffer_depth=1, load=0.6, traffic="hot-spot", detection_interval=5
+)
+
+
+# -- config generation ---------------------------------------------------------------
+def test_random_config_deterministic():
+    draws = [
+        [dataclasses.asdict(random_config(random.Random(42))) for _ in range(5)]
+        for _ in range(2)
+    ]
+    assert draws[0] == draws[1]
+
+
+def test_random_configs_are_valid():
+    rng = random.Random(7)
+    for _ in range(10):
+        random_config(rng).validate()  # raises on an invalid draw
+
+
+# -- clean sweep ---------------------------------------------------------------------
+def test_clean_configs_produce_no_mismatch():
+    assert active_faults() == frozenset(), (
+        f"unset {ENV_VAR} before running the test suite"
+    )
+    mismatches, checked = run_fuzz(num_configs=3, seed=3, shrink=False)
+    assert checked == 3
+    assert mismatches == []
+
+
+# -- teeth: armed faults MUST be caught ----------------------------------------------
+def test_skip_wake_is_caught_by_engine_axis(monkeypatch):
+    """A fast path that forgets to wake waiters diverges from legacy."""
+    monkeypatch.setenv(ENV_VAR, "skip-wake")
+    mismatches = check_config(SATURATED, axes=("engine",))
+    assert mismatches, "skip-wake fault was not detected: the net has no teeth"
+    assert mismatches[0].axis == "engine"
+
+
+def test_skip_dirty_block_is_caught_by_detector_axis(monkeypatch):
+    """A tracker that forgets a dirty mark poisons the region cache."""
+    monkeypatch.setenv(ENV_VAR, "skip-dirty-block")
+    mismatches = check_config(HOTSPOT, axes=("detector",))
+    assert mismatches, (
+        "skip-dirty-block fault was not detected: the net has no teeth"
+    )
+    assert mismatches[0].axis == "detector"
+
+
+def test_skip_dirty_acquire_knob_skips_marks(monkeypatch):
+    """The remaining fault knob really injects its lie at the event level.
+
+    End-to-end this fault is usually masked: an acquire almost always
+    changes the region's vertex set, which forces a recompute regardless
+    of dirty marks.  The unit-level contract is still worth pinning.
+    """
+    monkeypatch.setenv(ENV_VAR, "skip-dirty-acquire")
+    tracker = IncrementalCWG()
+    tracker.on_acquire(1, 10)
+    assert 10 not in tracker.consume_dirty()
+    assert tracker.owner[10] == 1, "fault must only skip marks, not content"
+    monkeypatch.delenv(ENV_VAR)
+    honest = IncrementalCWG()
+    honest.on_acquire(1, 10)
+    assert 10 in honest.consume_dirty()
+
+
+def test_unknown_fault_name_rejected(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "no-such-fault")
+    with pytest.raises(ValueError, match="no-such-fault"):
+        active_faults()
+
+
+def test_known_faults_registry():
+    assert KNOWN_FAULTS == {
+        "skip-dirty-acquire", "skip-dirty-block", "skip-wake"
+    }
+
+
+# -- shrinking -----------------------------------------------------------------------
+def test_shrink_preserves_mismatch_and_simplifies(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "skip-wake")
+    big = SATURATED.replace(measure_cycles=600, num_vcs=2)
+    assert check_config(big, axes=("engine",)), "precondition: big mismatches"
+    small, detail = shrink_config(big, "engine")
+    assert detail, "shrinking must report the surviving mismatch"
+    assert check_config(small, axes=("engine",)), "shrunk config must still fail"
+    assert small.measure_cycles <= big.measure_cycles
+    assert small.num_vcs <= big.num_vcs
+
+
+# -- artifacts -----------------------------------------------------------------------
+def test_artifact_roundtrip(tmp_path):
+    mismatch = FuzzMismatch(
+        axis="engine", config=SATURATED, detail="synthetic mismatch for test"
+    )
+    path = dump_artifact(mismatch, tmp_path / "artifact.json")
+    axis, config = load_artifact(path)
+    assert axis == "engine"
+    assert dataclasses.asdict(config) == dataclasses.asdict(SATURATED)
+
+
+def test_axes_are_the_documented_three():
+    assert AXES == ("engine", "detector", "cwg")
