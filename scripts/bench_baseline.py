@@ -12,7 +12,10 @@ seed-fixed mode and records:
 * **detector-census µs/pass** (the same saturated 16-ary with
   ``count_cycles=True``, passes driven by the engine itself so dirty sets
   are realistic) with dirty-region caching on and off — the cached/uncached
-  ratio is this PR's acceptance criterion (≥ 2×).
+  ratio is an acceptance criterion (≥ 2×),
+* the **per-phase breakdown** of the acceptance scenario (``obs_level=1``
+  profiler): where the engine's time goes, recorded for diagnosis and
+  printed by ``--check`` when the gate fails.
 
 The committed ``BENCH_core.json`` is this repo's perf trajectory: regenerate
 it with ``python scripts/bench_baseline.py`` after engine work, and gate
@@ -172,6 +175,72 @@ def _detector_census_us_per_pass(detector_caching: bool) -> float:
     return 1e6 * state[0] / state[1]
 
 
+def _phase_breakdown() -> dict:
+    """Per-phase wall-clock split of the acceptance scenario.
+
+    Runs the saturated 16-ary scenario once with ``obs_level=1`` (phase
+    profiler on), discards the warmup cycles, and records where the engine's
+    time goes — generate / allocate / move / detect, plus the detector's
+    region pipeline when caching kicks in.  Shares are ratios and transfer
+    across machines; they are recorded for diagnosis (printed when the
+    benchmark gate fails), not gated themselves.
+    """
+    spec = ENGINE_SCENARIOS[ACCEPTANCE_SCENARIO]
+    cfg = spec["factory"](
+        warmup_cycles=0,
+        measure_cycles=1,
+        seed=1,
+        validation_level=0,
+        obs_level=1,
+        **spec["overrides"],
+    )
+    sim = NetworkSimulator(cfg)
+    for _ in range(spec["warm"]):
+        sim.step()
+    sim.obs.profiler.reset()
+    for _ in range(spec["cycles"]):
+        sim.step()
+    snap = sim.obs.profiler.snapshot()
+    engine_total = sum(
+        rec["total_s"] for name, rec in snap.items()
+        if name.startswith("engine/")
+    )
+    phases = {
+        name: {
+            "total_ms": round(1e3 * rec["total_s"], 2),
+            "calls": rec["calls"],
+            "share_pct": (
+                round(100.0 * rec["total_s"] / engine_total, 1)
+                if engine_total
+                else 0.0
+            ),
+        }
+        for name, rec in snap.items()
+        if rec["calls"]
+    }
+    return {
+        "scenario": ACCEPTANCE_SCENARIO,
+        "timed_cycles": spec["cycles"],
+        "phases": phases,
+    }
+
+
+def format_phase_breakdown(breakdown: dict) -> str:
+    """Printable view of a ``phase_breakdown`` record."""
+    lines = [
+        f"phase breakdown ({breakdown['scenario']}, "
+        f"{breakdown['timed_cycles']} cycles):"
+    ]
+    phases = breakdown["phases"]
+    for name in sorted(phases, key=lambda n: -phases[n]["total_ms"]):
+        rec = phases[name]
+        lines.append(
+            f"  {name:<22} {rec['total_ms']:>9.2f} ms  "
+            f"{rec['calls']:>7} calls  {rec['share_pct']:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
 def measure() -> dict:
     results: dict = {"scenarios": {}}
     for name, spec in ENGINE_SCENARIOS.items():
@@ -206,6 +275,7 @@ def measure() -> dict:
         "required_speedup": 2.0,
         "speedup": results["detector_census"]["speedup"],
     }
+    results["phase_breakdown"] = _phase_breakdown()
     return results
 
 
@@ -294,6 +364,14 @@ def main() -> int:
         if problems:
             for p in problems:
                 print(f"REGRESSION: {p}")
+            # the fresh split says *where* the regression lives; the
+            # committed one is the shape to compare against
+            print()
+            print("fresh " + format_phase_breakdown(fresh["phase_breakdown"]))
+            committed = baseline.get("phase_breakdown")
+            if committed is not None:
+                print()
+                print("committed " + format_phase_breakdown(committed))
             return 1
         print("benchmark check passed (within 20% of committed baseline)")
         return 0

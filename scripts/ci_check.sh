@@ -8,7 +8,12 @@
 # 3. regenerates the benchmark numbers in quick mode and fails when
 #    cycles/sec regressed >20% against the committed BENCH_core.json
 #    (or when the fast-path speedup fell below the 2x acceptance bar);
-# 4. runs the differential fuzz smoke sweep: 25 seeded random configs
+#    on failure the per-phase time breakdown is printed alongside the
+#    committed one so the regressing phase is visible at a glance;
+# 4. runs the observability smoke gate: a pinned traced scenario whose
+#    exported Chrome/JSONL traces must parse with the expected span names,
+#    plus the <=10% overhead bound for obs_level=1 (scripts/obs_smoke.py);
+# 5. runs the differential fuzz smoke sweep: 25 seeded random configs
 #    cross-checked on the engine/detector/CWG axes under a 60 s budget
 #    (deterministic — a CI failure replays locally with the same command).
 set -euo pipefail
@@ -22,6 +27,9 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m slow
 
 echo "== benchmark smoke (vs committed BENCH_core.json) =="
 python scripts/bench_baseline.py --check
+
+echo "== observability smoke (trace schema + overhead gate) =="
+python scripts/obs_smoke.py
 
 echo "== differential fuzz smoke (see docs/TESTING.md) =="
 python scripts/fuzz_differential.py --smoke --quiet

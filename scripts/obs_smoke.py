@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Observability smoke gate (used by ``scripts/ci_check.sh``).
+
+Two checks, both deterministic apart from wall-clock noise:
+
+1. **Trace validity** — runs a pinned small scenario (4-ary 2-cube, DOR,
+   saturated) at ``obs_level=2``, exports the cycle-level trace as both
+   Chrome-trace JSON and JSONL, and validates that the files parse, that
+   the Chrome events carry the schema ``chrome://tracing`` / Perfetto
+   expect (``ph`` in ``X``/``i``, numeric ``ts``/``dur``, string names),
+   and that the expected span/instant names are present (the four engine
+   phases plus ``block``/``wake`` instants at saturation).
+
+2. **Overhead gate** — times the bench smoke scenario (8-ary 2-cube,
+   moderate load) at ``obs_level=0`` and ``obs_level=1`` with interleaved
+   best-of-reps timing, and fails when enabled observability costs more
+   than 10% in cycles/sec.  This is the bound that keeps ``--obs-level 1``
+   safe to leave on for real sweeps.
+
+Exit status 0 = both checks pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import bench_default, tiny_default  # noqa: E402
+from repro.network.simulator import NetworkSimulator  # noqa: E402
+
+#: span names every traced run of the pinned scenario must contain
+REQUIRED_SPANS = {
+    "engine/generate",
+    "engine/allocate",
+    "engine/move",
+    "engine/detect",
+}
+#: instant names the saturated pinned scenario must produce
+REQUIRED_INSTANTS = {"block", "wake"}
+
+OVERHEAD_LIMIT = 0.10  #: max fractional slowdown allowed for obs_level=1
+
+
+def _trace_scenario():
+    return tiny_default(
+        routing="dor",
+        num_vcs=1,
+        load=1.0,
+        warmup_cycles=100,
+        measure_cycles=600,
+        seed=7,
+        obs_level=2,
+        validation_level=0,
+    )
+
+
+def check_trace(verbose: bool = True) -> list[str]:
+    """Run the pinned scenario and validate the exported traces."""
+    problems: list[str] = []
+    sim = NetworkSimulator(_trace_scenario())
+    sim.run()
+    tracer = sim.obs.tracer
+    with tempfile.TemporaryDirectory() as tmp:
+        chrome_path = Path(tmp) / "trace.json"
+        jsonl_path = Path(tmp) / "trace.jsonl"
+        tracer.write_chrome(chrome_path)
+        tracer.write_jsonl(jsonl_path)
+
+        doc = json.loads(chrome_path.read_text())
+        events = doc.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            return [f"chrome trace has no traceEvents list: {chrome_path}"]
+        names = set()
+        for ev in events:
+            if not isinstance(ev.get("name"), str):
+                problems.append(f"trace event without string name: {ev!r}")
+                break
+            if ev.get("ph") not in ("X", "i"):
+                problems.append(f"unexpected event phase type: {ev!r}")
+                break
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"trace event without numeric ts: {ev!r}")
+                break
+            if ev["ph"] == "X" and not isinstance(ev.get("dur"), (int, float)):
+                problems.append(f"duration event without dur: {ev!r}")
+                break
+            names.add(ev["name"])
+        missing = (REQUIRED_SPANS | REQUIRED_INSTANTS) - names
+        if missing:
+            problems.append(
+                f"trace is missing expected event names: {sorted(missing)} "
+                f"(got {sorted(names)})"
+            )
+
+        jsonl_rows = [
+            json.loads(line)
+            for line in jsonl_path.read_text().splitlines()
+            if line
+        ]
+        if len(jsonl_rows) != len(events):
+            problems.append(
+                f"JSONL row count {len(jsonl_rows)} != chrome event "
+                f"count {len(events)}"
+            )
+    if verbose and not problems:
+        print(
+            f"trace check: {len(events)} events, "
+            f"{len(names)} distinct names, chrome+jsonl parse OK"
+        )
+    return problems
+
+
+def _cycles_per_sec(obs_level: int, warm: int, cycles: int, reps: int) -> float:
+    cfg = bench_default(
+        routing="dor",
+        num_vcs=1,
+        load=0.4,
+        warmup_cycles=0,
+        measure_cycles=1,
+        seed=1,
+        obs_level=obs_level,
+        validation_level=0,
+    )
+    sim = NetworkSimulator(cfg)
+    for _ in range(warm):
+        sim.step()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(cycles):
+            sim.step()
+        best = min(best, time.perf_counter() - t0)
+    return cycles / best
+
+
+def check_overhead(
+    warm: int = 200, cycles: int = 600, reps: int = 4, verbose: bool = True
+) -> list[str]:
+    """Gate: obs_level=1 may cost at most ``OVERHEAD_LIMIT`` in cycles/sec."""
+    off = _cycles_per_sec(0, warm, cycles, reps)
+    on = _cycles_per_sec(1, warm, cycles, reps)
+    overhead = off / on - 1.0
+    if verbose:
+        print(
+            f"overhead check: obs off {off:.0f} c/s, obs_level=1 {on:.0f} c/s "
+            f"-> {100 * overhead:+.1f}% (limit {100 * OVERHEAD_LIMIT:.0f}%)"
+        )
+    if overhead > OVERHEAD_LIMIT:
+        return [
+            f"obs_level=1 overhead {100 * overhead:.1f}% exceeds "
+            f"{100 * OVERHEAD_LIMIT:.0f}% limit "
+            f"({off:.0f} -> {on:.0f} cycles/sec)"
+        ]
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-overhead",
+        action="store_true",
+        help="only validate the exported trace (no timing gate)",
+    )
+    args = parser.parse_args()
+    problems = check_trace()
+    if not args.skip_overhead:
+        problems += check_overhead()
+    for p in problems:
+        print(f"OBS SMOKE FAILURE: {p}")
+    if not problems:
+        print("obs smoke: OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--progress", type=int, default=0,
                      help="print progress every N cycles")
+    sim.add_argument("--obs-level", type=int, default=0, choices=[0, 1, 2],
+                     help="observability: 0 off, 1 metrics+profiler, "
+                          "2 adds cycle-level tracing (default 0)")
+    sim.add_argument("--trace-out", metavar="PATH",
+                     help="write the cycle-level trace (implies --obs-level 2);"
+                          " '.jsonl' suffix selects JSONL, anything else "
+                          "Chrome-trace JSON for chrome://tracing / Perfetto")
+    sim.add_argument("--trace-capacity", type=int, default=65_536,
+                     help="trace ring-buffer bound in events (default 65536)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument(
@@ -69,12 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--csv", metavar="PATH", help="also write CSV rows")
     exp.add_argument("--chart", action="store_true",
                      help="render ASCII charts of the figure series")
+    exp.add_argument("--obs-level", type=int, default=0, choices=[0, 1, 2],
+                     help="collect observability metrics in every sweep "
+                          "point and print per-series rollups (default 0)")
     return parser
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
     from repro.network.simulator import NetworkSimulator
 
+    obs_level = args.obs_level
+    if args.trace_out and obs_level < 2:
+        obs_level = 2  # tracing needs the level-2 ring buffer
     config = SimulationConfig(
         k=args.k,
         n=args.n,
@@ -90,6 +105,8 @@ def _run_simulate(args: argparse.Namespace) -> int:
         warmup_cycles=args.warmup,
         measure_cycles=args.cycles,
         seed=args.seed,
+        obs_level=obs_level,
+        obs_trace_capacity=args.trace_capacity,
     )
     sim = NetworkSimulator(config)
     print(f"simulating {config.label()} ...")
@@ -108,18 +125,43 @@ def _run_simulate(args: argparse.Namespace) -> int:
             f"avg resource set {result.avg_resource_set_size:.1f} VCs, "
             f"avg knot density {result.avg_knot_cycle_density:.1f}"
         )
+    if sim.obs.enabled:
+        print()
+        print(sim.obs.phase_table())
+    if args.trace_out:
+        tracer = sim.obs.tracer
+        if args.trace_out.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace_out)
+        else:
+            tracer.write_chrome(args.trace_out)
+        stats = tracer.stats()
+        print(
+            f"trace written to {args.trace_out} "
+            f"({stats['events']} events, {stats['dropped']} dropped)"
+        )
     return 0
 
 
 def _run_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.experiments.report import render_figure, sweep_csv
+    from repro.experiments.base import set_default_obs_level
+    from repro.experiments.report import (
+        render_figure,
+        render_obs_rollup,
+        sweep_csv,
+    )
 
+    set_default_obs_level(args.obs_level)
     wanted = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
     csv_parts = []
     for exp_id in wanted:
         result = ALL_EXPERIMENTS[exp_id](scale=args.scale)
         print(result.format_tables())
+        if args.obs_level:
+            rollup = render_obs_rollup(result)
+            if rollup:
+                print()
+                print(rollup)
         if args.chart:
             print()
             print(render_figure(result, "norm_deadlocks"))

@@ -89,6 +89,14 @@ class SimulationConfig:
     #: short-circuiting.  Bit-identical to the legacy full-rescan path (same
     #: seed -> same RunResult); off selects the legacy path for A/B tests.
     engine_fast_path: bool = True
+    #: observability (:mod:`repro.obs`): 0 = off (the default — instrumented
+    #: call sites cost one attribute lookup against a no-op singleton),
+    #: 1 = metrics registry + per-phase profiler, 2 = level 1 plus the
+    #: cycle-level trace ring buffer (exportable as JSONL / Chrome trace).
+    #: Pure observation at every level: simulation results are bit-identical
+    #: across levels (same seed -> same RunResult and event stream).
+    obs_level: int = 0
+    obs_trace_capacity: int = 65_536  #: trace ring-buffer bound (events)
 
     def validate(self) -> None:
         if self.k < 2:
@@ -128,6 +136,14 @@ class SimulationConfig:
         if self.validation_interval < 1:
             raise ConfigurationError(
                 f"validation_interval must be >= 1, got {self.validation_interval}"
+            )
+        if self.obs_level not in (0, 1, 2):
+            raise ConfigurationError(
+                f"obs_level must be 0, 1 or 2, got {self.obs_level}"
+            )
+        if self.obs_trace_capacity < 1:
+            raise ConfigurationError(
+                f"obs_trace_capacity must be >= 1, got {self.obs_trace_capacity}"
             )
         if self.mesh and not self.bidirectional:
             raise ConfigurationError("meshes are always bidirectional")

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import TYPE_CHECKING, Hashable, Mapping, Optional, Sequence
 
 from repro.core.cwg import ChannelWaitForGraph, WaitGraphQueries
@@ -193,6 +194,40 @@ class DeadlockDetector:
         self._cache_sim: Optional["NetworkSimulator"] = None
         self._prev_regions: dict[frozenset, _RegionAnalysis] = {}
         self._sig_cache: OrderedDict[tuple, _RegionAnalysis] = OrderedDict()
+        # cache accounting (always maintained — a handful of integer
+        # increments per pass; surfaced by cache_stats() and repro.obs)
+        self.region_hits = 0  #: regions reused clean via exact vertex set
+        self.signature_hits = 0  #: dirty regions reused via the LRU
+        self.region_misses = 0  #: fresh region analyses
+        self.signature_evictions = 0  #: LRU entries dropped at capacity
+        self.full_passes = 0  #: global (uncached) analysis passes
+        self.cached_passes = 0  #: dirty-region analysis passes
+        self.shortcircuit_passes = 0  #: passes skipped on a stale epoch
+        # observability session of the sim under detection (None or the
+        # process-global null observer when obs is off)
+        self._obs = None
+
+    def cache_stats(self) -> dict[str, int]:
+        """Cache and pass accounting for the dirty-region pipeline.
+
+        ``region_hits`` are regions reused because no member vertex went
+        dirty (exact vertex-set match); ``signature_hits`` are dirty
+        regions that matched a previously-analyzed canonical signature in
+        the LRU; ``region_misses`` are fresh analyses; ``signature_evictions``
+        counts LRU entries dropped at capacity.  Pass counters split
+        detector invocations into full (global analysis), cached
+        (dirty-region) and short-circuited (stale blocked epoch) passes.
+        Counters are cumulative over the detector's lifetime.
+        """
+        return {
+            "region_hits": self.region_hits,
+            "signature_hits": self.signature_hits,
+            "region_misses": self.region_misses,
+            "signature_evictions": self.signature_evictions,
+            "full_passes": self.full_passes,
+            "cached_passes": self.cached_passes,
+            "shortcircuit_passes": self.shortcircuit_passes,
+        }
 
     # -- CWG construction ------------------------------------------------------------
     @staticmethod
@@ -264,13 +299,19 @@ class DeadlockDetector:
             and not getattr(sim, "_uncacheable_routing", True)
             and sim.blocked_epoch == self._sc_epoch
         ):
+            self.shortcircuit_passes += 1
             return self._detect_unchanged(sim, cycle)
+
+        obs = getattr(sim, "obs", None)
+        self._obs = obs if obs is not None and obs.enabled else None
 
         g = sim.cwg_view() if hasattr(sim, "cwg_view") else sim.cwg_snapshot()
         tracker = getattr(sim, "tracker", None)
         if self.caching and tracker is not None:
+            self.cached_passes += 1
             events, cycle_count = self._analyze_cached(sim, g, tracker, cycle)
         else:
+            self.full_passes += 1
             adjacency = g.adjacency()
             knots = sorted(find_knots(adjacency), key=_knot_key)
             events = [
@@ -287,6 +328,12 @@ class DeadlockDetector:
             all_deadlocked.update(event.deadlock_set)
 
         blocked_list = g.blocked_messages()
+        if self._obs is not None:
+            reg = self._obs.registry
+            reg.histogram("detector/blocked_per_pass").observe(
+                len(blocked_list)
+            )
+            reg.histogram("detector/knots_per_pass").observe(len(events))
         blocked_durations: list[tuple[int, int, bool]] = []
         if self.record_blocked_durations:
             for mid in blocked_list:
@@ -406,6 +453,9 @@ class DeadlockDetector:
             self._cache_sim = sim
             self._prev_regions = {}
             self._sig_cache = OrderedDict()
+        obs = self._obs
+        prof = obs.profiler if obs is not None else None
+        t0 = perf_counter() if prof is not None else 0.0
         dirty = tracker.consume_dirty()
         adjacency = tracker.adjacency()
 
@@ -428,6 +478,16 @@ class DeadlockDetector:
         components: dict[Vertex, list[Vertex]] = {}
         for v in adjacency:
             components.setdefault(find(v), []).append(v)
+        if prof is not None:
+            now = perf_counter()
+            prof.add("detect/partition", now - t0)
+            t0 = now
+            obs.registry.histogram("detector/regions_per_pass").observe(
+                len(components)
+            )
+            obs.registry.histogram("detector/dirty_per_pass").observe(
+                len(dirty)
+            )
 
         buckets: Optional[dict[Vertex, list[tuple]]] = None
         new_regions: dict[frozenset, _RegionAnalysis] = {}
@@ -436,7 +496,9 @@ class DeadlockDetector:
         for root, members in components.items():
             vertex_set = frozenset(members)
             analysis = self._prev_regions.get(vertex_set)
-            if analysis is None or not dirty.isdisjoint(vertex_set):
+            if analysis is not None and dirty.isdisjoint(vertex_set):
+                self.region_hits += 1
+            else:
                 if buckets is None:
                     buckets = self._bucket_messages(tracker, find)
                 sig = tuple(
@@ -444,17 +506,22 @@ class DeadlockDetector:
                 )
                 analysis = self._sig_cache.get(sig)
                 if analysis is not None:
+                    self.signature_hits += 1
                     self._sig_cache.move_to_end(sig)
                 else:
+                    self.region_misses += 1
                     analysis = self._analyze_region(g, members, adjacency, cycle)
                     self._sig_cache[sig] = analysis
                     if len(self._sig_cache) > _SIG_CACHE_CAP:
                         self._sig_cache.popitem(last=False)
+                        self.signature_evictions += 1
             new_regions[vertex_set] = analysis
             events.extend(analysis.events)
             if analysis.census is not None:
                 census_total += analysis.census.count
         self._prev_regions = new_regions
+        if prof is not None:
+            prof.add("detect/regions", perf_counter() - t0)
 
         events.sort(key=lambda e: _knot_key(e.knot))
         events = [e if e.cycle == cycle else replace(e, cycle=cycle) for e in events]
@@ -495,17 +562,26 @@ class DeadlockDetector:
         cycle: int,
     ) -> _RegionAnalysis:
         """Fresh analysis of one region, on its chain-contracted form."""
+        obs = self._obs
+        prof = obs.profiler if obs is not None else None
+        t0 = perf_counter() if prof is not None else 0.0
         region_adj = {v: adjacency[v] for v in members}
         contracted = contract_graph(region_adj)
         knots = sorted(find_knots_contracted(contracted), key=_knot_key)
         events = tuple(
             self._knot_event(g, region_adj, knot, cycle) for knot in knots
         )
+        if prof is not None:
+            now = perf_counter()
+            prof.add("detect/knots", now - t0)
+            t0 = now
         census = (
             count_cycles_contracted(contracted, self.max_cycles_counted)
             if self.count_cycles
             else None
         )
+        if prof is not None:
+            prof.add("detect/census", perf_counter() - t0)
         return _RegionAnalysis(events=events, census=census)
 
     def _knot_density(self, sub: dict) -> CycleCount:

@@ -79,8 +79,10 @@ class IncrementalCWG(WaitGraphQueries):
         #: Bounded by the network's resource universe (vertices are reused
         #: across messages), so an unconsumed set cannot grow without limit.
         self.dirty: set[Vertex] = set()
-        #: counters for introspection / benchmarks
+        #: counters for introspection / benchmarks (see :meth:`stats`)
         self.events = 0
+        self.dirty_consumed = 0  #: dirty vertices handed to the detector
+        self.dirty_consumptions = 0  #: consume_dirty() calls
         # test-only fault injection (repro.faults): sampled once here so the
         # event hot path pays nothing when no fault is armed
         faults = active_faults()
@@ -91,7 +93,26 @@ class IncrementalCWG(WaitGraphQueries):
         """Hand the accumulated dirty-vertex set over and start a fresh one."""
         out = self.dirty
         self.dirty = set()
+        self.dirty_consumed += len(out)
+        self.dirty_consumptions += 1
         return out
+
+    def stats(self) -> dict[str, int]:
+        """Dirty-vertex and event accounting (surfaced by :mod:`repro.obs`).
+
+        ``events`` counts every maintenance hook call; ``dirty_consumed``
+        totals the dirty vertices handed to the detector across
+        ``dirty_consumptions`` passes — their ratio is the average
+        churn a cached detection pass had to re-examine.
+        """
+        return {
+            "events": self.events,
+            "dirty_consumed": self.dirty_consumed,
+            "dirty_consumptions": self.dirty_consumptions,
+            "dirty_pending": len(self.dirty),
+            "chains": len(self.chains),
+            "owned_vertices": len(self.owner),
+        }
 
     # -- event hooks ----------------------------------------------------------------
     def on_acquire(self, message: int, vertex: Vertex) -> None:

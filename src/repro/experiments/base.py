@@ -23,7 +23,33 @@ from repro.config import SimulationConfig, bench_default, paper_default, tiny_de
 from repro.errors import ConfigurationError
 from repro.metrics.sweep import SweepResult
 
-__all__ = ["scaled_config", "scaled_loads", "ExperimentResult", "format_table"]
+__all__ = [
+    "scaled_config",
+    "scaled_loads",
+    "ExperimentResult",
+    "format_table",
+    "set_default_obs_level",
+    "default_obs_level",
+]
+
+#: observability level applied by :func:`scaled_config` when the caller does
+#: not pass ``obs_level`` explicitly — how ``repro experiment --obs-level``
+#: reaches every config an experiment runner builds without threading a new
+#: parameter through all of them
+_DEFAULT_OBS_LEVEL = 0
+
+
+def set_default_obs_level(level: int) -> None:
+    """Set the ``obs_level`` that :func:`scaled_config` applies by default."""
+    global _DEFAULT_OBS_LEVEL
+    if level not in (0, 1, 2):
+        raise ConfigurationError(f"obs_level must be 0, 1 or 2, got {level}")
+    _DEFAULT_OBS_LEVEL = level
+
+
+def default_obs_level() -> int:
+    """The ``obs_level`` currently applied by :func:`scaled_config`."""
+    return _DEFAULT_OBS_LEVEL
 
 
 def scaled_config(scale: str, **overrides) -> SimulationConfig:
@@ -33,6 +59,7 @@ def scaled_config(scale: str, **overrides) -> SimulationConfig:
         "bench": bench_default,
         "tiny": tiny_default,
     }
+    overrides.setdefault("obs_level", _DEFAULT_OBS_LEVEL)
     try:
         return factories[scale](**overrides)
     except KeyError:

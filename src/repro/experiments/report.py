@@ -15,7 +15,14 @@ from typing import Mapping, Sequence
 
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["sweep_csv", "experiment_csv", "ascii_chart", "render_figure"]
+__all__ = [
+    "sweep_csv",
+    "experiment_csv",
+    "ascii_chart",
+    "render_figure",
+    "format_obs_snapshot",
+    "render_obs_rollup",
+]
 
 
 def sweep_csv(result: ExperimentResult) -> str:
@@ -130,6 +137,82 @@ def ascii_chart(
     )
     lines.append(" " * margin + "  " + legend)
     return "\n".join(lines)
+
+
+def format_obs_snapshot(snapshot: Mapping, title: str = "observability") -> str:
+    """One observability snapshot (or merged rollup) as a text report.
+
+    ``snapshot`` is the mapping produced by
+    :meth:`repro.obs.observer.Observer.snapshot` or by
+    :func:`repro.obs.registry.merge_snapshots` over several of them:
+    phase wall-clock times (summed CPU seconds when merged across pool
+    workers), counters, gauges, and histogram summaries.
+    """
+    lines = [title, "-" * len(title)]
+    phases = snapshot.get("phases") or {}
+    if phases:
+        # top-level engine phases (no "/" beyond the leading component
+        # grouping) carry the whole-step time; sub-phases nest inside them
+        total = sum(
+            rec["total_s"]
+            for name, rec in phases.items()
+            if name.startswith("engine/")
+        )
+        lines.append(f"  {'phase':<22} {'total ms':>10} {'calls':>9} "
+                     f"{'us/call':>9} {'share':>6}")
+        for name in sorted(phases, key=lambda n: -phases[n]["total_s"]):
+            rec = phases[name]
+            per = 1e6 * rec["total_s"] / rec["calls"] if rec["calls"] else 0.0
+            share = 100 * rec["total_s"] / total if total else 0.0
+            lines.append(
+                f"  {name:<22} {1e3 * rec['total_s']:>10.2f} "
+                f"{rec['calls']:>9} {per:>9.1f} {share:>5.1f}%"
+            )
+    counters = snapshot.get("counters") or {}
+    if counters:
+        lines.append("  counters:")
+        for name in sorted(counters):
+            lines.append(f"    {name:<30} {counters[name]}")
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        lines.append("  gauges (max across points):")
+        for name in sorted(gauges):
+            lines.append(f"    {name:<30} {gauges[name]:g}")
+    for name in sorted(snapshot.get("histograms") or {}):
+        h = snapshot["histograms"][name]
+        mean = h["total"] / h["count"] if h["count"] else 0.0
+        lines.append(
+            f"  histogram {name}: n={h['count']} mean={mean:.2f}"
+        )
+    trace = snapshot.get("trace")
+    if trace:
+        lines.append(
+            f"  trace: {trace.get('events', 0)} events recorded, "
+            f"{trace.get('dropped', 0)} dropped"
+        )
+    return "\n".join(lines)
+
+
+def render_obs_rollup(result: ExperimentResult) -> str:
+    """Observability rollups of an experiment, one block per series.
+
+    Renders the merged (whole-sweep) snapshot each
+    :class:`~repro.metrics.sweep.SweepResult` carries in ``.obs``; series
+    that ran with ``obs_level=0`` are skipped.  Returns ``""`` when no
+    series collected observability data.
+    """
+    blocks = []
+    for label, sweep in result.sweeps.items():
+        if sweep.obs is None:
+            continue
+        blocks.append(
+            format_obs_snapshot(
+                sweep.obs["sweep"],
+                title=f"{result.experiment_id} [{label}] observability rollup "
+                f"({len(sweep.obs['points'])} points merged)",
+            )
+        )
+    return "\n\n".join(blocks)
 
 
 def render_figure(

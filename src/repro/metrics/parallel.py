@@ -31,7 +31,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence
 from repro.config import SimulationConfig
 from repro.errors import SimulationError
 from repro.metrics.stats import RunResult
-from repro.metrics.sweep import SweepResult
+from repro.metrics.sweep import SweepResult, obs_rollup
 
 __all__ = ["run_point", "run_load_sweep_parallel", "run_matrix_parallel"]
 
@@ -41,6 +41,19 @@ def run_point(config: SimulationConfig) -> RunResult:
     from repro.network.simulator import NetworkSimulator
 
     return NetworkSimulator(config).run()
+
+
+def _run_point_obs(config: SimulationConfig) -> tuple[RunResult, Optional[dict]]:
+    """Like :func:`run_point`, also shipping the obs registry snapshot.
+
+    Observability state lives on the worker-side simulator; the snapshot is
+    the picklable view the parent merges into sweep rollups.
+    """
+    from repro.network.simulator import NetworkSimulator
+
+    sim = NetworkSimulator(config)
+    result = sim.run()
+    return result, sim.obs.snapshot()
 
 
 @dataclass
@@ -57,9 +70,11 @@ class _PointFailure:
     trace: str
 
 
-def _run_point_guarded(config: SimulationConfig) -> RunResult | _PointFailure:
+def _run_point_guarded(
+    config: SimulationConfig,
+) -> tuple[RunResult, Optional[dict]] | _PointFailure:
     try:
-        return run_point(config)
+        return _run_point_obs(config)
     except Exception as exc:  # noqa: BLE001 - re-raised with context in parent
         return _PointFailure(
             label=config.label(),
@@ -84,9 +99,9 @@ def _chunksize(num_tasks: int, workers: int) -> int:
 
 
 def _checked(
-    results: Iterable[RunResult | _PointFailure],
+    results: Iterable[tuple[RunResult, Optional[dict]] | _PointFailure],
     configs: Sequence[SimulationConfig],
-) -> Iterator[RunResult]:
+) -> Iterator[tuple[RunResult, Optional[dict]]]:
     """Unwrap guarded results in submission order, raising labelled failures."""
     for config, result in zip(configs, results):
         if isinstance(result, _PointFailure):
@@ -101,30 +116,35 @@ def _run_batch(
     configs: Sequence[SimulationConfig],
     workers: int,
     on_result: Optional[Callable[[SimulationConfig, RunResult], None]],
-) -> list[RunResult]:
-    """Run a batch across the pool, in-order results + per-result callback."""
+) -> tuple[list[RunResult], list[Optional[dict]]]:
+    """Run a batch across the pool, in-order results + per-result callback.
+
+    Returns the run results and the matching per-point observability
+    snapshots (all ``None`` when the configs carry ``obs_level=0``).
+    """
     if workers == 1 or len(configs) <= 1:
-        raw: Iterable[RunResult | _PointFailure] = map(
+        raw: Iterable[tuple[RunResult, Optional[dict]] | _PointFailure] = map(
             _run_point_guarded, configs
         )
-        out: list[RunResult] = []
-        for cfg, result in zip(configs, _checked(raw, configs)):
-            out.append(result)
-            if on_result is not None:
-                on_result(cfg, result)
-        return out
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    else:
+        pool = ProcessPoolExecutor(max_workers=workers)
         raw = pool.map(
             _run_point_guarded,
             configs,
             chunksize=_chunksize(len(configs), workers),
         )
-        out = []
-        for cfg, result in zip(configs, _checked(raw, configs)):
+    out: list[RunResult] = []
+    snapshots: list[Optional[dict]] = []
+    try:
+        for cfg, (result, snap) in zip(configs, _checked(raw, configs)):
             out.append(result)
+            snapshots.append(snap)
             if on_result is not None:
                 on_result(cfg, result)
-        return out
+    finally:
+        if workers > 1 and len(configs) > 1:
+            pool.shutdown()
+    return out, snapshots
 
 
 def run_load_sweep_parallel(
@@ -152,12 +172,13 @@ def run_load_sweep_parallel(
         if progress is not None
         else None
     )
-    results = _run_batch(configs, workers, on_result)
+    results, snapshots = _run_batch(configs, workers, on_result)
     return SweepResult(
         label=label or base.label(),
         loads=list(loads),
         results=results,
         capacity=capacity,
+        obs=obs_rollup(loads, snapshots),
     )
 
 
@@ -166,11 +187,19 @@ def run_matrix_parallel(
     *,
     max_workers: Optional[int] = None,
     progress: Callable[[SimulationConfig, RunResult], None] | None = None,
-) -> list[RunResult]:
+    with_obs: bool = False,
+) -> list[RunResult] | tuple[list[RunResult], list[Optional[dict]]]:
     """Run an arbitrary batch of configurations across the pool.
 
     ``progress`` receives ``(config, result)`` pairs in submission order as
-    results are retrieved.
+    results are retrieved.  With ``with_obs=True`` the return value is a
+    ``(results, snapshots)`` pair, where ``snapshots`` holds each point's
+    observability registry snapshot (``None`` for ``obs_level=0`` configs)
+    in submission order, ready for
+    :func:`repro.obs.registry.merge_snapshots`.
     """
     workers = _resolve_workers(max_workers)
-    return _run_batch(list(configs), workers, progress)
+    results, snapshots = _run_batch(list(configs), workers, progress)
+    if with_obs:
+        return results, snapshots
+    return results

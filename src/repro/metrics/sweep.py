@@ -10,13 +10,37 @@ paper's figures).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.metrics.stats import RunResult
+from repro.obs.registry import merge_snapshots
 
-__all__ = ["SweepResult", "run_load_sweep", "default_loads"]
+__all__ = ["SweepResult", "run_load_sweep", "default_loads", "obs_rollup"]
+
+
+def obs_rollup(
+    loads: Sequence[float], snapshots: Sequence[Optional[dict]]
+) -> Optional[dict]:
+    """Fold per-point observability snapshots into a sweep rollup.
+
+    Returns ``None`` when every point ran with observability disabled
+    (``obs_level=0`` produces no snapshot), otherwise a dict with
+
+    * ``"sweep"`` — all point snapshots merged via
+      :func:`repro.obs.registry.merge_snapshots` (counters / histogram bins
+      / phase times sum, gauges take the max), and
+    * ``"points"`` — the raw per-load snapshots, keyed by the load value
+      formatted with ``%g``.
+    """
+    kept = [(load, s) for load, s in zip(loads, snapshots) if s is not None]
+    if not kept:
+        return None
+    return {
+        "sweep": merge_snapshots([s for _, s in kept]),
+        "points": {f"{load:g}": s for load, s in kept},
+    }
 
 
 def default_loads(*, dense: bool = False) -> list[float]:
@@ -40,6 +64,9 @@ class SweepResult:
     loads: list[float]
     results: list[RunResult]
     capacity: float
+    #: observability rollup (see :func:`obs_rollup`); ``None`` unless the
+    #: sweep ran with ``obs_level >= 1``
+    obs: Optional[dict] = field(default=None, compare=False)
 
     @property
     def normalized_deadlocks(self) -> list[float]:
@@ -125,13 +152,15 @@ def run_load_sweep(
 
     capacity = build_topology(base).capacity_flits_per_node_cycle
     results: list[RunResult] = []
+    snapshots: list[Optional[dict]] = []
     for load in loads:
         sim = NetworkSimulator(base.replace(load=load))
         result = sim.run()
         results.append(result)
+        snapshots.append(sim.obs.snapshot())
         if progress is not None:
             progress(load, result)
     return SweepResult(
         label=label or base.label(), loads=list(loads), results=results,
-        capacity=capacity,
+        capacity=capacity, obs=obs_rollup(loads, snapshots),
     )

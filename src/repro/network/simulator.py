@@ -72,6 +72,7 @@ from repro.errors import SimulationError
 from repro.faults import active_faults
 from repro.metrics.stats import RunResult, StatsCollector
 from repro.network.channels import ChannelPool, VirtualChannel
+from repro.obs import Observer
 from repro.network.message import Message, MessageStatus
 from repro.network.topology import IrregularTorus, KAryNCube, Mesh, Topology
 from repro.routing import make_routing, make_selection
@@ -158,6 +159,20 @@ class NetworkSimulator:
         from repro.validation.invariants import InvariantChecker
 
         self.validation = InvariantChecker.from_config(config)
+        # observability (repro.obs): NULL_OBSERVER at obs_level=0, so the
+        # per-cycle instrumentation below reduces to None-checks
+        self.obs = Observer.from_config(config)
+        self._obs_tracer = self.obs.tracer
+        prof = self.obs.profiler
+        if prof is not None:
+            self._t_generate = prof.timer("engine/generate")
+            self._t_allocate = prof.timer("engine/allocate")
+            self._t_move = prof.timer("engine/move")
+            self._t_detect = prof.timer("engine/detect")
+            self._t_recover = prof.timer("engine/recover")
+        else:
+            self._t_generate = None
+            self._t_recover = None
         # test-only fault injection (repro.faults), sampled once
         self._fault_skip_wake = "skip-wake" in active_faults()
 
@@ -435,6 +450,7 @@ class NetworkSimulator:
                     requests.append(m)
         requests = self._service_order(requests, _PHASE_ALLOC)
         tracker = self.tracker
+        tracer = self._obs_tracer
         cycle = self.cycle
         for msg in requests:
             if msg.stalled:
@@ -445,6 +461,8 @@ class NetworkSimulator:
             if msg.needs_reception:
                 rx = self.pool.free_reception(msg.dest)
                 if rx is not None:
+                    if tracer is not None and msg.blocked_since is not None:
+                        tracer.instant("wake", msg=msg.id)
                     msg.acquire_reception(rx)
                     self.blocked_epoch += 1
                     if tracker is not None:
@@ -455,6 +473,8 @@ class NetworkSimulator:
                     if msg.blocked_since is None:
                         msg.blocked_since = cycle
                         self.blocked_epoch += 1
+                        if tracer is not None:
+                            tracer.instant("block", msg=msg.id, node=msg.dest)
                     if tracker is not None:
                         tracker.on_block(
                             msg.id, self.pool.reception_request_keys(msg.dest)
@@ -467,6 +487,8 @@ class NetworkSimulator:
             choice = self.selection.choose(msg, free, self.rng)
             if choice is not None:
                 was_queued = msg.status is MessageStatus.QUEUED
+                if tracer is not None and msg.blocked_since is not None:
+                    tracer.instant("wake", msg=msg.id)
                 msg.acquire_vc(choice, cycle)
                 self.blocked_epoch += 1
                 if tracker is not None:
@@ -480,6 +502,10 @@ class NetworkSimulator:
                 if msg.blocked_since is None:
                     msg.blocked_since = cycle
                     self.blocked_epoch += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            "block", msg=msg.id, node=msg.head_node
+                        )
                 if tracker is not None:
                     tracker.on_block(msg.id, [vc.index for vc in candidates])
                 if fast:
@@ -616,13 +642,36 @@ class NetworkSimulator:
             # verify reported knots against the definition while the state
             # they describe is still intact (recovery runs next)
             self.validation.on_detection(self, record)
+        tracer = self._obs_tracer
+        if tracer is not None:
+            tracer.instant(
+                "detection",
+                knots=len(record.events),
+                blocked=record.blocked_messages,
+                vertices=record.cwg_vertices,
+            )
+            for event in record.events:
+                tracer.instant(
+                    "deadlock",
+                    size=event.deadlock_set_size,
+                    resources=event.resource_set_size,
+                    density=event.knot_cycle_density,
+                )
+        t_recover = self._t_recover
+        if t_recover is None:
+            self._apply_recovery(record)
+        else:
+            with t_recover:
+                self._apply_recovery(record)
+        self.stats.on_detection(record, self)
+        return record
+
+    def _apply_recovery(self, record: DetectionRecord) -> None:
         if self.config.detection_mode == "timeout":
             self._recover_by_timeout(record)
         else:
             for event in record.events:
                 self._recover(event)
-        self.stats.on_detection(record, self)
-        return record
 
     def _recover(self, event: DeadlockEvent) -> None:
         members = [self._live[mid] for mid in sorted(event.deadlock_set)]
@@ -671,6 +720,12 @@ class NetworkSimulator:
 
     def _remove_victim(self, victim: Message) -> None:
         fast = self.fast_path
+        if self._obs_tracer is not None:
+            self._obs_tracer.instant(
+                "recovery",
+                victim=victim.id,
+                teardown=self.config.recovery_teardown,
+            )
         if self.config.recovery_teardown == "flit-by-flit":
             held_rx = victim.reception  # released inside begin_teardown
             victim.begin_teardown()
@@ -710,10 +765,25 @@ class NetworkSimulator:
     def step(self) -> None:
         """Advance the simulation by one cycle."""
         self.cycle += 1
-        self._phase_generate()
-        self._phase_allocate()
-        self._phase_move()
-        self._phase_detect()
+        if self._t_generate is None:
+            self._phase_generate()
+            self._phase_allocate()
+            self._phase_move()
+            self._phase_detect()
+        else:
+            # profiled path: identical phase sequence, each stage wrapped in
+            # its pre-bound scoped timer (pure observation — see repro.obs)
+            tracer = self._obs_tracer
+            if tracer is not None:
+                tracer.cycle = self.cycle
+            with self._t_generate:
+                self._phase_generate()
+            with self._t_allocate:
+                self._phase_allocate()
+            with self._t_move:
+                self._phase_move()
+            with self._t_detect:
+                self._phase_detect()
         if self.config.check_invariants:
             self.check_invariants()
         if self.validation is not None:
@@ -732,6 +802,7 @@ class NetworkSimulator:
                     f"{self.messages_in_network} msgs in flight, "
                     f"{len(self.detector.events)} deadlocks"
                 )
+        self.obs.finalize(self)
         return self.stats.finalize(self)
 
     def run_to_drain(self, max_cycles: int = 100_000) -> RunResult:
@@ -749,6 +820,7 @@ class NetworkSimulator:
                 and all(not q for q in self.queues)
             ):
                 break
+        self.obs.finalize(self)
         return self.stats.finalize(self)
 
     # -- invariants ------------------------------------------------------------------------

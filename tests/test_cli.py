@@ -67,3 +67,63 @@ class TestMain:
         assert csv_path.exists()
         header = csv_path.read_text().splitlines()[0]
         assert header.startswith("experiment,series,load")
+
+    def test_simulate_obs_level_prints_phase_table(self, capsys):
+        rc = main(
+            [
+                "simulate", "--k", "4", "--length", "8", "--load", "0.6",
+                "--warmup", "50", "--cycles", "300", "--obs-level", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out
+        assert "engine/allocate" in out
+
+    def test_simulate_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        rc = main(
+            [
+                "simulate", "--k", "4", "--length", "8", "--load", "1.0",
+                "--warmup", "50", "--cycles", "300",
+                "--trace-out", str(trace_path),  # implies --obs-level 2
+            ]
+        )
+        assert rc == 0
+        assert "trace written to" in capsys.readouterr().out
+        doc = json.loads(trace_path.read_text())
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert "engine/allocate" in names
+
+    def test_simulate_trace_out_jsonl(self, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "simulate", "--k", "4", "--length", "8", "--load", "0.6",
+                "--warmup", "50", "--cycles", "300",
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert rc == 0
+        rows = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert rows and all("name" in r for r in rows)
+
+    def test_experiment_obs_level_prints_rollup(self, capsys, monkeypatch):
+        import repro.experiments.base as base_mod
+        import repro.experiments.fig5 as fig5_mod
+
+        monkeypatch.setattr(fig5_mod, "scaled_loads", lambda scale: [0.8])
+        rc = main(["experiment", "FIG5", "--scale", "tiny", "--obs-level", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "observability rollup" in out
+        assert "engine/allocate" in out
+        # the CLI leaves the default obs level set; reset for other tests
+        base_mod.set_default_obs_level(0)

@@ -54,3 +54,22 @@ def test_watch_deadlock(capsys):
     run_example("watch_deadlock.py")
     out = capsys.readouterr().out
     assert "deadlock @ cycle" in out or "no deadlock formed" in out
+
+
+def test_profile_run(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    run_example("profile_run.py", ["--trace-out", str(trace_path)])
+    out = capsys.readouterr().out
+    assert "phase profile" in out
+    assert "engine/allocate" in out
+    assert "detector cache counters" in out
+    assert "trace ring buffer" in out
+    doc = json.loads(trace_path.read_text())
+    assert {ev["name"] for ev in doc["traceEvents"]} >= {
+        "engine/generate",
+        "engine/allocate",
+        "engine/move",
+        "engine/detect",
+    }

@@ -34,6 +34,7 @@ def test_subpackage_api():
     from repro.core import IncrementalCWG, packet_wait_for_graph  # noqa: F401
     from repro.experiments import ALL_EXPERIMENTS
     from repro.metrics import analyze_records, replicate  # noqa: F401
+    from repro.obs import Observer, TraceRecorder, merge_snapshots  # noqa: F401
     from repro.routing import certify_deadlock_free  # noqa: F401
     from repro.traffic.trace import Trace  # noqa: F401
     from repro.viz import render_occupancy  # noqa: F401
