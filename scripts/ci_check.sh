@@ -15,7 +15,13 @@
 #    plus the <=10% overhead bound for obs_level=1 (scripts/obs_smoke.py);
 # 5. runs the differential fuzz smoke sweep: 25 seeded random configs
 #    cross-checked on the engine/detector/CWG axes under a 60 s budget
-#    (deterministic — a CI failure replays locally with the same command).
+#    (deterministic — a CI failure replays locally with the same command);
+# 6. runs the campaign smoke gate: a 2-point campaign interrupted after one
+#    point, resumed, and checked bit-identical against a direct sweep with
+#    a consistent store manifest (scripts/campaign_smoke.py);
+# 7. runs the documentation drift gate: every repro.* symbol named in
+#    docs/API.md must resolve against the live package, and every relative
+#    markdown link in the repo must point at an existing file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,5 +39,11 @@ python scripts/obs_smoke.py
 
 echo "== differential fuzz smoke (see docs/TESTING.md) =="
 python scripts/fuzz_differential.py --smoke --quiet
+
+echo "== campaign smoke (interrupt / resume / bit-identical merge) =="
+python scripts/campaign_smoke.py
+
+echo "== docs drift (API symbols import, markdown links resolve) =="
+python scripts/docs_check.py
 
 echo "ci_check: OK"

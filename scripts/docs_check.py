@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Documentation drift gate: API symbols must import, links must resolve.
+
+Documentation rots in two characteristic ways: an API reference keeps
+naming a symbol that was renamed or removed, and a markdown link keeps
+pointing at a file that moved.  Both are mechanical to detect, so this
+script does — it is part of ``scripts/ci_check.sh``:
+
+1. every dotted ``repro.*`` path mentioned in ``docs/API.md`` is resolved
+   against the live package (import the longest importable module prefix,
+   then walk attributes), so the reference cannot drift from the code;
+2. every relative link in the repo's markdown files must point at a file
+   that exists.
+
+Exit status is the number of problems (0 = clean).
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+API_DOC = REPO_ROOT / "docs" / "API.md"
+
+#: a dotted repro.* path: the package name plus at least one attribute
+SYMBOL_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+#: markdown inline links — [text](target); images share the syntax
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: directories never scanned for markdown
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def iter_markdown_files() -> list[Path]:
+    out = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            out.append(path)
+    return out
+
+
+def resolve_symbol(dotted: str) -> None:
+    """Import the longest module prefix of ``dotted``, then walk attributes.
+
+    Raises on any failure; the caller turns that into a problem report.
+    """
+    parts = dotted.split(".")
+    module = None
+    index = len(parts)
+    last_error: Exception | None = None
+    while index > 0:
+        try:
+            module = importlib.import_module(".".join(parts[:index]))
+            break
+        except ImportError as exc:
+            last_error = exc
+            index -= 1
+    if module is None:
+        raise ImportError(f"no importable prefix of {dotted!r}: {last_error}")
+    obj = module
+    for attr in parts[index:]:
+        obj = getattr(obj, attr)  # AttributeError names the missing piece
+
+
+def check_api_symbols() -> list[str]:
+    problems = []
+    if not API_DOC.exists():
+        return [f"{API_DOC.relative_to(REPO_ROOT)}: missing"]
+    seen = sorted(set(SYMBOL_RE.findall(API_DOC.read_text())))
+    for dotted in seen:
+        try:
+            resolve_symbol(dotted)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            problems.append(
+                f"docs/API.md: `{dotted}` does not resolve "
+                f"({type(exc).__name__}: {exc})"
+            )
+    print(f"docs_check: {len(seen)} API symbols resolved against the package")
+    return problems
+
+
+def check_markdown_links() -> list[str]:
+    problems = []
+    checked = 0
+    for md in iter_markdown_files():
+        for match in LINK_RE.finditer(md.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            checked += 1
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    print(f"docs_check: {checked} intra-repo links checked")
+    return problems
+
+
+def main() -> int:
+    problems = check_api_symbols() + check_markdown_links()
+    for problem in problems:
+        print(f"DOCS: {problem}")
+    if not problems:
+        print("docs_check: OK")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

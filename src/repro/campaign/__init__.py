@@ -1,0 +1,39 @@
+"""Resumable, fault-tolerant sweep campaigns.
+
+Regenerating a paper figure is hundreds of independent simulations; this
+package makes that workload durable.  :class:`~repro.campaign.store.
+ResultStore` is a content-addressed on-disk store (one atomic JSON
+artifact per completed :class:`~repro.config.SimulationConfig`, keyed by a
+stable config digest + schema version, indexed by a manifest), and
+:class:`~repro.campaign.runner.CampaignRunner` drives sweep points through
+killable worker processes with retry/backoff, per-point wall-clock
+timeouts, graceful degradation (a point that exhausts its retries becomes
+a recorded :class:`~repro.campaign.store.PointFailure`, not an abort) and
+resume (points already in the store are never re-run; determinism makes
+the merged sweep bit-identical to an uninterrupted run).
+
+Entry points: ``repro campaign run|status|resume|clean`` on the CLI,
+``--store/--retries/--timeout`` on ``repro experiment``, and
+:func:`repro.experiments.base.experiment_sweep` for programmatic use.
+"""
+
+from repro.campaign.runner import CampaignRunner, CampaignSweep
+from repro.campaign.store import (
+    SCHEMA_VERSION,
+    PointFailure,
+    ResultStore,
+    StoredPoint,
+    StoreSchemaError,
+    config_digest,
+)
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignSweep",
+    "ResultStore",
+    "StoredPoint",
+    "PointFailure",
+    "StoreSchemaError",
+    "config_digest",
+    "SCHEMA_VERSION",
+]

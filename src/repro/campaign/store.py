@@ -1,0 +1,318 @@
+"""Content-addressed on-disk result store for sweep campaigns.
+
+A campaign is hundreds of independent simulations; this store makes every
+completed point durable the moment it finishes, so a crashed worker, a
+killed process or a dropped SSH session never throws away finished work.
+
+One JSON artifact per completed :class:`~repro.config.SimulationConfig`,
+keyed by a **stable config digest**: the SHA-256 of the config's canonical
+JSON form (every dataclass field, sorted keys) together with the store
+schema version.  The seed is a config field, so distinct seeds are distinct
+points; two configs that would produce bit-identical runs map to the same
+artifact.  Writes go to a temporary file in the same directory followed by
+``os.replace`` — an artifact is either absent or complete, never torn,
+even when the writing worker is killed mid-write.
+
+Alongside the artifacts lives ``manifest.json``, an index of every point a
+campaign has touched: completed points, their attempt counts, and points
+that exhausted their retries (recorded as structured failures instead of
+aborting the sweep — see :class:`PointFailure`).
+
+``SCHEMA_VERSION`` guards resumption across code changes: bump it whenever
+the serialized :class:`~repro.metrics.stats.RunResult` shape (or anything
+that feeds the digest) changes meaning.  A store written under a different
+schema version refuses to resume (:class:`StoreSchemaError`) rather than
+silently mixing incompatible artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.config import SimulationConfig
+from repro.errors import ReproError
+from repro.metrics.stats import RunResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoreSchemaError",
+    "PointFailure",
+    "StoredPoint",
+    "ResultStore",
+    "config_digest",
+    "config_to_json",
+    "config_from_json",
+    "result_to_json",
+    "result_from_json",
+]
+
+#: store schema version — bump when the serialized RunResult/config shape
+#: changes meaning; old artifacts then refuse to resume instead of mixing
+SCHEMA_VERSION = 1
+
+#: SimulationConfig fields whose JSON (list) form must be restored to the
+#: nested-tuple form the frozen dataclass uses, so a round-tripped config
+#: compares equal to the original
+_TUPLE_FIELDS = ("failed_links", "length_mix", "traffic_mix")
+
+
+class StoreSchemaError(ReproError):
+    """A store artifact/manifest was written under a different schema."""
+
+
+@dataclass
+class PointFailure:
+    """A sweep point that exhausted its retries, recorded — not raised.
+
+    Campaigns degrade gracefully: the failure lands in the manifest (and on
+    :attr:`~repro.metrics.sweep.SweepResult.failures`) while every other
+    point keeps running.
+    """
+
+    label: str
+    digest: str
+    load: float
+    seed: int
+    error: str
+    attempts: int
+    kind: str = "error"  #: "error" (worker raised) or "timeout" (killed)
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PointFailure":
+        return cls(**data)
+
+
+@dataclass
+class StoredPoint:
+    """One completed artifact loaded back from the store."""
+
+    digest: str
+    config: SimulationConfig
+    result: RunResult
+    obs: Optional[dict]
+
+
+def config_to_json(config: SimulationConfig) -> dict:
+    """Canonical JSON-able form of a config (tuples become lists)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_json(data: dict) -> SimulationConfig:
+    """Rebuild a config, restoring the nested-tuple fields JSON flattened."""
+    data = dict(data)
+    for name in _TUPLE_FIELDS:
+        if name in data:
+            data[name] = tuple(tuple(entry) for entry in data[name])
+    return SimulationConfig(**data)
+
+
+def result_to_json(result: RunResult) -> dict:
+    """JSON-able form of a run result (config nested in canonical form)."""
+    payload = dataclasses.asdict(result)
+    payload["config"] = config_to_json(result.config)
+    return payload
+
+
+def result_from_json(data: dict) -> RunResult:
+    """Rebuild a run result bit-identically (JSON round-trips floats exactly)."""
+    data = dict(data)
+    config = config_from_json(data.pop("config"))
+    return RunResult(config=config, **data)
+
+
+def config_digest(
+    config: SimulationConfig, schema_version: int = SCHEMA_VERSION
+) -> str:
+    """Stable content digest keying a point's artifact.
+
+    Canonical JSON (sorted keys, no whitespace) over every config field
+    plus the schema version; the seed is a config field, so it is part of
+    the key.  Stable across processes and sessions — ``PYTHONHASHSEED``
+    does not enter.
+    """
+    payload = json.dumps(
+        {"schema_version": schema_version, "config": config_to_json(config)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write-then-rename: the file at ``path`` is never observably torn."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """Directory of completed-point artifacts plus the campaign manifest.
+
+    Layout::
+
+        <root>/manifest.json          index: done points, failures, counters
+        <root>/points/<digest>.json   one artifact per completed config
+        <root>/points/<digest>.err.json   last worker error (transient)
+
+    Safe for one writer per artifact (digests are disjoint across points)
+    plus any number of readers; all writes are atomic rename.
+    """
+
+    def __init__(
+        self, root: str | Path, *, schema_version: int = SCHEMA_VERSION
+    ) -> None:
+        self.root = Path(root)
+        self.schema_version = schema_version
+        self.points_dir = self.root / "points"
+        self.points_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.root / "manifest.json"
+
+    # -- artifacts ---------------------------------------------------------------
+    def digest(self, config: SimulationConfig) -> str:
+        return config_digest(config, self.schema_version)
+
+    def point_path(self, digest: str) -> Path:
+        return self.points_dir / f"{digest}.json"
+
+    def error_path(self, digest: str) -> Path:
+        return self.points_dir / f"{digest}.err.json"
+
+    def has(self, config: SimulationConfig) -> bool:
+        """Is a schema-compatible artifact present for this config?"""
+        path = self.point_path(self.digest(config))
+        if not path.exists():
+            return False
+        try:
+            return self._read_artifact(path)["schema_version"] == self.schema_version
+        except (json.JSONDecodeError, KeyError, OSError):
+            return False
+
+    def load(self, config: SimulationConfig) -> StoredPoint:
+        """Load a completed point; refuses schema-incompatible artifacts."""
+        digest = self.digest(config)
+        data = self._read_artifact(self.point_path(digest))
+        found = data.get("schema_version")
+        if found != self.schema_version:
+            raise StoreSchemaError(
+                f"artifact {digest} was written under schema version "
+                f"{found}; this store expects {self.schema_version} — "
+                f"rerun the point (or `repro campaign clean --all`)"
+            )
+        return StoredPoint(
+            digest=digest,
+            config=config_from_json(data["config"]),
+            result=result_from_json(data["result"]),
+            obs=data.get("obs"),
+        )
+
+    def write(
+        self,
+        config: SimulationConfig,
+        result: RunResult,
+        obs: Optional[dict] = None,
+    ) -> str:
+        """Persist a completed point atomically; returns its digest."""
+        digest = self.digest(config)
+        _atomic_write_json(
+            self.point_path(digest),
+            {
+                "schema_version": self.schema_version,
+                "digest": digest,
+                "label": config.label(),
+                "config": config_to_json(config),
+                "result": result_to_json(result),
+                "obs": obs,
+            },
+        )
+        return digest
+
+    def write_error(self, digest: str, error: str, trace: str) -> None:
+        """Record a worker-side failure for the parent to pick up."""
+        _atomic_write_json(
+            self.error_path(digest), {"error": error, "trace": trace}
+        )
+
+    def read_error(self, digest: str) -> Optional[dict]:
+        """The last recorded worker error for a point, consumed on read."""
+        path = self.error_path(digest)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        path.unlink(missing_ok=True)
+        return data
+
+    @staticmethod
+    def _read_artifact(path: Path) -> dict:
+        return json.loads(path.read_text())
+
+    # -- manifest ----------------------------------------------------------------
+    def _empty_manifest(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "points": {},
+            "counters": {},
+        }
+
+    def load_manifest(self) -> dict:
+        """The campaign index; refuses manifests from another schema."""
+        if not self.manifest_path.exists():
+            return self._empty_manifest()
+        manifest = json.loads(self.manifest_path.read_text())
+        found = manifest.get("schema_version")
+        if found != self.schema_version:
+            raise StoreSchemaError(
+                f"store at {self.root} was written under schema version "
+                f"{found}; this code expects {self.schema_version} — "
+                f"start a fresh store or `repro campaign clean --all`"
+            )
+        return manifest
+
+    def save_manifest(self, manifest: dict) -> None:
+        _atomic_write_json(self.manifest_path, manifest)
+
+    # -- maintenance -------------------------------------------------------------
+    def clean(self, *, all_points: bool = False) -> dict:
+        """Drop failed entries (and stale tmp/err files) so they rerun.
+
+        With ``all_points=True`` the artifacts and manifest are removed
+        entirely.  Returns ``{"failed_dropped": n, "artifacts_dropped": n}``.
+        """
+        dropped_failed = 0
+        dropped_artifacts = 0
+        for stale in self.points_dir.glob(".*.tmp"):
+            stale.unlink(missing_ok=True)
+        for err in self.points_dir.glob("*.err.json"):
+            err.unlink(missing_ok=True)
+        if all_points:
+            for artifact in self.points_dir.glob("*.json"):
+                artifact.unlink(missing_ok=True)
+                dropped_artifacts += 1
+            self.manifest_path.unlink(missing_ok=True)
+            return {
+                "failed_dropped": 0,
+                "artifacts_dropped": dropped_artifacts,
+            }
+        try:
+            manifest = self.load_manifest()
+        except StoreSchemaError:
+            # incompatible manifest: cleaning failed entries is meaningless
+            raise
+        points = manifest.get("points", {})
+        for digest in [d for d, p in points.items() if p.get("status") == "failed"]:
+            del points[digest]
+            dropped_failed += 1
+        self.save_manifest(manifest)
+        return {
+            "failed_dropped": dropped_failed,
+            "artifacts_dropped": dropped_artifacts,
+        }

@@ -1,15 +1,22 @@
 """Command-line interface.
 
-Two subcommands::
+Three subcommands::
 
     python -m repro simulate --k 8 --n 2 --routing dor --vcs 1 --load 0.8
     python -m repro experiment FIG5 --scale bench [--csv out.csv] [--chart]
+    python -m repro campaign run FIG5 --store runs/fig5 --scale bench
 
 ``simulate`` runs one configuration and prints the run summary plus the
 deadlock characterization.  ``experiment`` regenerates one of the paper's
 figures/tables (FIG5, FIG6, FIG7, FIG8, SEC3.5, SEC3.6, TAB-AVOID,
 ABL-DET) and prints the paper-style tables, optionally with CSV export and
-ASCII charts.
+ASCII charts; with ``--store`` the sweeps run as a checkpointed campaign.
+``campaign`` manages durable sweep campaigns (:mod:`repro.campaign`):
+``run`` executes an experiment against a result store with per-point
+retry/timeout fault tolerance, ``resume`` is the same invocation spelled
+to make intent explicit (completed points are always skipped), ``status``
+renders the store manifest, ``clean`` drops failed entries (or, with
+``--all``, the whole store) so they run again.
 """
 
 from __future__ import annotations
@@ -20,6 +27,13 @@ import sys
 from repro.config import SimulationConfig
 
 __all__ = ["main", "build_parser"]
+
+#: experiment registry ids accepted by ``experiment`` and ``campaign run``
+EXPERIMENT_IDS = [
+    "FIG5", "FIG6", "FIG7", "FIG8", "SEC3.5", "SEC3.6",
+    "TAB-AVOID", "ABL-DET", "ABL-REC", "ABL-SEL", "ABL-INT",
+    "ABL-TIMEOUT", "EXT-LEN", "EXT-GRAN", "EXT-FAULT", "ABL-ARB", "all",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,12 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace ring-buffer bound in events (default 65536)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
-    exp.add_argument(
-        "id",
-        choices=["FIG5", "FIG6", "FIG7", "FIG8", "SEC3.5", "SEC3.6",
-                 "TAB-AVOID", "ABL-DET", "ABL-REC", "ABL-SEL", "ABL-INT",
-                 "ABL-TIMEOUT", "EXT-LEN", "EXT-GRAN", "EXT-FAULT", "ABL-ARB", "all"],
-    )
+    exp.add_argument("id", choices=EXPERIMENT_IDS)
     exp.add_argument("--scale", default="bench",
                      choices=["tiny", "bench", "paper"])
     exp.add_argument("--csv", metavar="PATH", help="also write CSV rows")
@@ -81,7 +90,60 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--obs-level", type=int, default=0, choices=[0, 1, 2],
                      help="collect observability metrics in every sweep "
                           "point and print per-series rollups (default 0)")
+    _add_campaign_run_args(exp, store_required=False)
+
+    camp = sub.add_parser(
+        "campaign", help="checkpointed, resumable experiment campaigns"
+    )
+    camp_sub = camp.add_subparsers(dest="campaign_command", required=True)
+    for verb, blurb in (
+        ("run", "run an experiment as a durable campaign"),
+        ("resume", "re-invoke a campaign: completed points are skipped"),
+    ):
+        crun = camp_sub.add_parser(verb, help=blurb)
+        crun.add_argument("id", choices=EXPERIMENT_IDS)
+        crun.add_argument("--scale", default="bench",
+                          choices=["tiny", "bench", "paper"])
+        crun.add_argument("--csv", metavar="PATH", help="also write CSV rows")
+        crun.add_argument("--chart", action="store_true",
+                          help="render ASCII charts of the figure series")
+        crun.add_argument("--obs-level", type=int, default=0,
+                          choices=[0, 1, 2],
+                          help="collect observability metrics per point")
+        _add_campaign_run_args(crun, store_required=True)
+    cstatus = camp_sub.add_parser(
+        "status", help="render a store's manifest (done/failed/counters)"
+    )
+    cstatus.add_argument("--store", required=True, metavar="DIR")
+    cclean = camp_sub.add_parser(
+        "clean", help="drop failed manifest entries so they run again"
+    )
+    cclean.add_argument("--store", required=True, metavar="DIR")
+    cclean.add_argument("--all", action="store_true",
+                        help="remove every artifact and the manifest")
     return parser
+
+
+def _add_campaign_run_args(
+    parser: argparse.ArgumentParser, *, store_required: bool
+) -> None:
+    """The campaign-execution knobs shared by `experiment` and `campaign`."""
+    parser.add_argument(
+        "--store", required=store_required, metavar="DIR",
+        help="result-store directory; completed points are checkpointed "
+             "there and skipped on re-invocation"
+        + ("" if store_required else " (omitting it runs plain sweeps)"),
+    )
+    parser.add_argument("--retries", type=int, default=2,
+                        help="re-attempts per failed point (default 2)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="per-point wall-clock budget; a worker past it "
+                             "is killed and the attempt retried")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="concurrent worker processes (default: cores-1)")
+    parser.add_argument("--max-points", type=int, default=None,
+                        help="stop after N fresh point executions "
+                             "(interruption hook used by tests/CI)")
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
@@ -142,9 +204,40 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_runner_from_args(args: argparse.Namespace):
+    """Build the CampaignRunner an invocation asked for (None without --store)."""
+    if not getattr(args, "store", None):
+        return None
+    from repro.campaign import CampaignRunner, ResultStore
+
+    return CampaignRunner(
+        ResultStore(args.store),
+        retries=args.retries,
+        timeout_s=args.timeout,
+        max_workers=args.workers,
+        max_points=args.max_points,
+    )
+
+
+def _print_campaign_summary(runner) -> None:
+    counters = runner.registry.snapshot()["counters"]
+    parts = [
+        f"{name.split('/', 1)[1]}={value}"
+        for name, value in sorted(counters.items())
+        if name.startswith("campaign/")
+    ]
+    print(f"campaign [{runner.store.root}]: " + ", ".join(parts))
+    failures = counters.get("campaign/failures", 0)
+    if failures:
+        print(
+            f"WARNING: {failures} point(s) degraded to recorded failures — "
+            f"see `repro campaign status --store {runner.store.root}`"
+        )
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.experiments.base import set_default_obs_level
+    from repro.experiments.base import set_campaign_runner, set_default_obs_level
     from repro.experiments.report import (
         render_figure,
         render_obs_rollup,
@@ -152,37 +245,66 @@ def _run_experiment(args: argparse.Namespace) -> int:
     )
 
     set_default_obs_level(args.obs_level)
-    wanted = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
-    csv_parts = []
-    for exp_id in wanted:
-        result = ALL_EXPERIMENTS[exp_id](scale=args.scale)
-        print(result.format_tables())
-        if args.obs_level:
-            rollup = render_obs_rollup(result)
-            if rollup:
+    runner = _campaign_runner_from_args(args)
+    set_campaign_runner(runner)
+    try:
+        wanted = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+        csv_parts = []
+        for exp_id in wanted:
+            result = ALL_EXPERIMENTS[exp_id](scale=args.scale)
+            print(result.format_tables())
+            if args.obs_level:
+                rollup = render_obs_rollup(result)
+                if rollup:
+                    print()
+                    print(rollup)
+            if args.chart:
                 print()
-                print(rollup)
-        if args.chart:
+                print(render_figure(result, "norm_deadlocks"))
+                print()
+                print(render_figure(result, "throughput"))
+            if args.csv:
+                csv_parts.append(sweep_csv(result))
             print()
-            print(render_figure(result, "norm_deadlocks"))
-            print()
-            print(render_figure(result, "throughput"))
-        if args.csv:
-            csv_parts.append(sweep_csv(result))
-        print()
-    if args.csv and csv_parts:
-        header = csv_parts[0].splitlines()[0]
-        body = [ln for part in csv_parts for ln in part.splitlines()[1:]]
-        with open(args.csv, "w") as fh:
-            fh.write("\n".join([header, *body]) + "\n")
-        print(f"CSV written to {args.csv}")
+        if args.csv and csv_parts:
+            header = csv_parts[0].splitlines()[0]
+            body = [ln for part in csv_parts for ln in part.splitlines()[1:]]
+            with open(args.csv, "w") as fh:
+                fh.write("\n".join([header, *body]) + "\n")
+            print(f"CSV written to {args.csv}")
+        if runner is not None:
+            _print_campaign_summary(runner)
+    finally:
+        set_campaign_runner(None)
     return 0
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore
+    from repro.experiments.report import render_campaign_status
+
+    if args.campaign_command == "status":
+        print(render_campaign_status(ResultStore(args.store)))
+        return 0
+    if args.campaign_command == "clean":
+        summary = ResultStore(args.store).clean(all_points=args.all)
+        print(
+            f"cleaned {args.store}: {summary['failed_dropped']} failed "
+            f"entr(ies) dropped, {summary['artifacts_dropped']} artifact(s) "
+            f"removed"
+        )
+        return 0
+    # run / resume: identical semantics — resume is run with a store that
+    # already holds completed points
+    return _run_experiment(args)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "campaign":
+        return _run_campaign(args)
     return _run_experiment(args)
 
 

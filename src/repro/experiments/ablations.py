@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.base import ExperimentResult, scaled_config
-from repro.metrics.sweep import SweepResult, run_load_sweep
+from repro.experiments.base import ExperimentResult, experiment_sweep, scaled_config
+from repro.metrics.sweep import SweepResult
 from repro.network.simulator import NetworkSimulator
 
 __all__ = [
@@ -43,7 +43,7 @@ def run_teardown(
     base = scaled_config(scale, routing="dor", num_vcs=1, **overrides)
     sweeps = {}
     for mode in ("instant", "flit-by-flit"):
-        sweeps[mode] = run_load_sweep(
+        sweeps[mode] = experiment_sweep(
             base.replace(recovery_teardown=mode), list(loads), label=mode
         )
     obs = {
@@ -71,7 +71,7 @@ def run_selection(
     base = scaled_config(scale, routing="tfar", num_vcs=2, **overrides)
     sweeps = {}
     for policy in ("straight", "random"):
-        sweeps[policy] = run_load_sweep(
+        sweeps[policy] = experiment_sweep(
             base.replace(selection=policy), list(loads), label=policy
         )
     obs = {}

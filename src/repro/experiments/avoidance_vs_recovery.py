@@ -25,8 +25,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.base import ExperimentResult, scaled_config, scaled_loads
-from repro.metrics.sweep import run_load_sweep
+from repro.experiments.base import ExperimentResult, experiment_sweep, scaled_config, scaled_loads
 
 __all__ = ["run"]
 
@@ -46,17 +45,17 @@ def run(
     loads = list(loads) if loads is not None else scaled_loads(scale)
     base = scaled_config(scale, num_vcs=num_vcs, **overrides)
 
-    recovery = run_load_sweep(
+    recovery = experiment_sweep(
         base.replace(routing="tfar", recovery="disha"),
         loads,
         label=f"TFAR{num_vcs}+recovery",
     )
-    dateline = run_load_sweep(
+    dateline = experiment_sweep(
         base.replace(routing="dor-dateline"),
         loads,
         label=f"dateline-DOR{num_vcs}",
     )
-    duato = run_load_sweep(
+    duato = experiment_sweep(
         base.replace(routing="duato"), loads, label=f"Duato{num_vcs}"
     )
 

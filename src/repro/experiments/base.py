@@ -17,15 +17,21 @@ The output of every runner is an :class:`ExperimentResult` whose
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, bench_default, paper_default, tiny_default
 from repro.errors import ConfigurationError
-from repro.metrics.sweep import SweepResult
+from repro.metrics.sweep import SweepResult, run_load_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign.runner import CampaignRunner
 
 __all__ = [
     "scaled_config",
     "scaled_loads",
+    "experiment_sweep",
+    "set_campaign_runner",
+    "campaign_runner",
     "ExperimentResult",
     "format_table",
     "set_default_obs_level",
@@ -50,6 +56,41 @@ def set_default_obs_level(level: int) -> None:
 def default_obs_level() -> int:
     """The ``obs_level`` currently applied by :func:`scaled_config`."""
     return _DEFAULT_OBS_LEVEL
+
+
+#: active campaign runner applied by :func:`experiment_sweep` — how
+#: ``repro campaign run`` / ``repro experiment --store`` make every sweep
+#: of every experiment checkpointed without threading a runner through all
+#: the per-figure signatures (mirrors :data:`_DEFAULT_OBS_LEVEL`)
+_CAMPAIGN_RUNNER: Optional["CampaignRunner"] = None
+
+
+def set_campaign_runner(runner: Optional["CampaignRunner"]) -> None:
+    """Install (or clear, with ``None``) the campaign runner sweeps use."""
+    global _CAMPAIGN_RUNNER
+    _CAMPAIGN_RUNNER = runner
+
+
+def campaign_runner() -> Optional["CampaignRunner"]:
+    """The campaign runner currently applied by :func:`experiment_sweep`."""
+    return _CAMPAIGN_RUNNER
+
+
+def experiment_sweep(
+    base: SimulationConfig, loads: Sequence[float], label: str = ""
+) -> SweepResult:
+    """The load sweep every experiment runner goes through.
+
+    Plain serial :func:`~repro.metrics.sweep.run_load_sweep` by default;
+    when a campaign runner is installed (``repro campaign run``,
+    ``repro experiment --store``, or :func:`set_campaign_runner`), the
+    sweep is checkpointed, fault-tolerant and resumable instead.  Points a
+    campaign could not complete are recorded on the returned sweep's
+    ``failures`` (and rendered as degraded notes) rather than raised.
+    """
+    if _CAMPAIGN_RUNNER is None:
+        return run_load_sweep(base, loads, label)
+    return _CAMPAIGN_RUNNER.run_sweep(base, loads, label).sweep
 
 
 def scaled_config(scale: str, **overrides) -> SimulationConfig:
@@ -139,6 +180,12 @@ class ExperimentResult:
             ]
             sat = sweep.saturation_load
             notes = [f"saturation load ~ {sat}" if sat is not None else "no saturation"]
+            for failure in sweep.failures:
+                notes.append(
+                    f"DEGRADED: load {failure.load:g} missing — point failed "
+                    f"after {failure.attempts} attempt(s) ({failure.kind}): "
+                    f"{failure.error}"
+                )
             blocks.append(
                 format_table(
                     f"{self.experiment_id} [{label}]",

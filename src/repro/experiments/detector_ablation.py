@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.experiments.base import ExperimentResult, format_table, scaled_config
-from repro.metrics.sweep import SweepResult, run_load_sweep
+from repro.metrics.sweep import SweepResult
 from repro.network.simulator import NetworkSimulator
 
 __all__ = ["run", "TimeoutEvaluation", "evaluate_thresholds"]

@@ -20,8 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.base import ExperimentResult, scaled_config, scaled_loads
-from repro.metrics.sweep import run_load_sweep
+from repro.experiments.base import ExperimentResult, experiment_sweep, scaled_config, scaled_loads
 
 __all__ = ["run"]
 
@@ -37,8 +36,8 @@ def run(scale: str = "bench", loads: Sequence[float] | None = None, **overrides)
     loads = list(loads) if loads is not None else scaled_loads(scale)
     base = scaled_config(scale, routing="dor", num_vcs=1, **overrides)
 
-    bi = run_load_sweep(base.replace(bidirectional=True), loads, label="bi-directional")
-    uni = run_load_sweep(base.replace(bidirectional=False), loads, label="uni-directional")
+    bi = experiment_sweep(base.replace(bidirectional=True), loads, label="bi-directional")
+    uni = experiment_sweep(base.replace(bidirectional=False), loads, label="uni-directional")
 
     # Headline comparisons at the highest common load (deep saturation).
     last = -1

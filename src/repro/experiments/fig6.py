@@ -18,8 +18,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.base import ExperimentResult, scaled_config, scaled_loads
-from repro.metrics.sweep import run_load_sweep
+from repro.experiments.base import ExperimentResult, experiment_sweep, scaled_config, scaled_loads
 
 __all__ = ["run"]
 
@@ -34,8 +33,8 @@ def run(scale: str = "bench", loads: Sequence[float] | None = None, **overrides)
     loads = list(loads) if loads is not None else scaled_loads(scale)
     base = scaled_config(scale, num_vcs=1, **overrides)
 
-    dor = run_load_sweep(base.replace(routing="dor"), loads, label="DOR")
-    tfar = run_load_sweep(base.replace(routing="tfar"), loads, label="TFAR")
+    dor = experiment_sweep(base.replace(routing="dor"), loads, label="DOR")
+    tfar = experiment_sweep(base.replace(routing="tfar"), loads, label="TFAR")
 
     dor_total = sum(dor.deadlock_counts)
     tfar_total = sum(tfar.deadlock_counts)

@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.base import ExperimentResult, scaled_config, scaled_loads
-from repro.metrics.sweep import run_load_sweep
+from repro.experiments.base import ExperimentResult, experiment_sweep, scaled_config, scaled_loads
 
 __all__ = ["run"]
 
@@ -42,7 +41,7 @@ def run(
         for vcs in vc_counts:
             label = f"{routing.upper()}{vcs}"
             cfg = base.replace(routing=routing, num_vcs=vcs)
-            sweeps[label] = run_load_sweep(cfg, loads, label=label)
+            sweeps[label] = experiment_sweep(cfg, loads, label=label)
 
     obs: dict[str, float] = {}
     for label, sweep in sweeps.items():

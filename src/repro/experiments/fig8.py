@@ -23,8 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.base import ExperimentResult, scaled_config, scaled_loads
-from repro.metrics.sweep import run_load_sweep
+from repro.experiments.base import ExperimentResult, experiment_sweep, scaled_config, scaled_loads
 
 __all__ = ["run", "buffer_depths_for"]
 
@@ -58,7 +57,7 @@ def run(
     sweeps = {}
     for depth in depths:
         label = f"buffer={depth}"
-        sweeps[label] = run_load_sweep(
+        sweeps[label] = experiment_sweep(
             base.replace(buffer_depth=depth), loads, label=label
         )
 

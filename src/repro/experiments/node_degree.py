@@ -20,8 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.base import ExperimentResult, scaled_config, scaled_loads
-from repro.metrics.sweep import run_load_sweep
+from repro.experiments.base import ExperimentResult, experiment_sweep, scaled_config, scaled_loads
 
 __all__ = ["run"]
 
@@ -44,10 +43,10 @@ def run(scale: str = "bench", loads: Sequence[float] | None = None, **overrides)
     (k_lo, n_lo), (k_hi, n_hi) = GEOMETRIES[scale]
     base = scaled_config(scale, routing="tfar", num_vcs=1, **overrides)
 
-    low = run_load_sweep(
+    low = experiment_sweep(
         base.replace(k=k_lo, n=n_lo), loads, label=f"{k_lo}-ary {n_lo}-cube"
     )
-    high = run_load_sweep(
+    high = experiment_sweep(
         base.replace(k=k_hi, n=n_hi), loads, label=f"{k_hi}-ary {n_hi}-cube"
     )
 

@@ -22,6 +22,7 @@ __all__ = [
     "render_figure",
     "format_obs_snapshot",
     "render_obs_rollup",
+    "render_campaign_status",
 ]
 
 
@@ -213,6 +214,44 @@ def render_obs_rollup(result: ExperimentResult) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+def render_campaign_status(store) -> str:
+    """Human-readable state of a campaign result store.
+
+    ``store`` is a :class:`repro.campaign.store.ResultStore`.  Renders the
+    manifest (done / failed points, attempt counts, retry/timeout/resume
+    counters) without running anything — the report side of resumability:
+    what is durable, what degraded, what a re-invocation would still run.
+    """
+    manifest = store.load_manifest()
+    points = manifest.get("points", {})
+    done = {d: p for d, p in points.items() if p.get("status") == "done"}
+    failed = {d: p for d, p in points.items() if p.get("status") == "failed"}
+    lines = [
+        f"campaign store: {store.root}",
+        f"  schema version: {manifest.get('schema_version')}",
+        f"  points: {len(done)} done, {len(failed)} failed (degraded)",
+    ]
+    counters = manifest.get("counters", {})
+    if counters:
+        lines.append(
+            "  counters: "
+            + ", ".join(f"{k}={counters[k]}" for k in sorted(counters))
+        )
+    for digest, point in sorted(done.items(), key=lambda kv: kv[1].get("load", 0)):
+        attempts = point.get("attempts")
+        suffix = f" (attempts={attempts})" if attempts and attempts > 1 else ""
+        lines.append(f"  done    {digest[:12]}  {point.get('label')}{suffix}")
+    for digest, point in sorted(failed.items(), key=lambda kv: kv[1].get("load", 0)):
+        lines.append(
+            f"  FAILED  {digest[:12]}  {point.get('label')}  "
+            f"[{point.get('kind', 'error')} after {point.get('attempts', '?')} "
+            f"attempt(s)] {point.get('error', '')}"
+        )
+    if not points:
+        lines.append("  (empty — no points recorded yet)")
+    return "\n".join(lines)
 
 
 def render_figure(

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.base import ExperimentResult, scaled_config, scaled_loads
-from repro.metrics.sweep import run_load_sweep
+from repro.experiments.base import ExperimentResult, experiment_sweep, scaled_config, scaled_loads
 
 __all__ = ["run"]
 
@@ -44,7 +43,7 @@ def run(
     sweeps = {}
     for pattern in patterns:
         cfg = base.replace(traffic=pattern)
-        sweeps[pattern] = run_load_sweep(cfg, loads, label=pattern)
+        sweeps[pattern] = experiment_sweep(cfg, loads, label=pattern)
 
     uniform_total = sum(sweeps["uniform"].deadlock_counts) if "uniform" in sweeps else 0
     obs: dict[str, float] = {"uniform_total_deadlocks": float(uniform_total)}

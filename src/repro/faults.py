@@ -29,20 +29,51 @@ Known fault names:
     ``stalled`` flag when a waited-on resource frees — stalled messages
     sleep forever on the engine fast path, diverging from the legacy path.
 
+``crash-point``
+    A campaign worker (:mod:`repro.campaign.runner`) raises before running
+    its simulation — every attempt, so the point exhausts its retries and
+    must degrade to a recorded failure.
+
+``flaky-point``
+    Like ``crash-point``, but only the *first* attempt per point fails
+    (cross-process first-attempt tracking via marker files in
+    ``REPRO_FAULT_DIR``); retries then succeed.  Exercises retry/backoff.
+
+``hang-point``
+    A campaign worker's first attempt per point hangs (sleeps far past any
+    sane timeout) after dropping its marker file; the respawned attempt
+    runs normally.  Exercises the per-point wall-clock timeout kill path.
+
+The point faults honour two extra environment variables:
+``REPRO_FAULT_MATCH`` — a substring of the config label restricting which
+points fault (empty/unset = all points) — and ``REPRO_FAULT_DIR`` — the
+directory for first-attempt marker files (required by ``flaky-point`` and
+``hang-point``).
+
 This module is intentionally tiny and dependency-free so that core modules
 can import it without layering concerns.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 
-__all__ = ["active_faults"]
+__all__ = ["active_faults", "point_fault_matches", "first_trigger"]
 
 ENV_VAR = "REPRO_INJECT_FAULT"
+MATCH_ENV_VAR = "REPRO_FAULT_MATCH"
+DIR_ENV_VAR = "REPRO_FAULT_DIR"
 
 KNOWN_FAULTS = frozenset(
-    {"skip-dirty-acquire", "skip-dirty-block", "skip-wake"}
+    {
+        "skip-dirty-acquire",
+        "skip-dirty-block",
+        "skip-wake",
+        "crash-point",
+        "flaky-point",
+        "hang-point",
+    }
 )
 
 
@@ -59,3 +90,36 @@ def active_faults() -> frozenset[str]:
             f"known: {sorted(KNOWN_FAULTS)}"
         )
     return faults
+
+
+def point_fault_matches(label: str) -> bool:
+    """Does an armed point fault apply to the point with this label?
+
+    ``REPRO_FAULT_MATCH`` holds a substring of the config label; empty or
+    unset means every point faults.
+    """
+    needle = os.environ.get(MATCH_ENV_VAR, "")
+    return needle in label
+
+
+def first_trigger(fault: str, key: str) -> bool:
+    """True exactly once per (fault, key), across processes.
+
+    Uses an exclusive-create marker file in ``REPRO_FAULT_DIR`` so a
+    respawned worker process sees that a previous attempt already fired.
+    Raises when the directory is not configured — the once-only faults are
+    meaningless without it.
+    """
+    directory = os.environ.get(DIR_ENV_VAR)
+    if not directory:
+        raise ValueError(
+            f"fault {fault!r} needs ${DIR_ENV_VAR} set to a marker directory"
+        )
+    tag = hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+    marker = os.path.join(directory, f"{fault}-{tag}.marker")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True

@@ -14,7 +14,11 @@ yielded in submission order (so the optional ``progress`` callback fires in
 the same order as the serial sweep's), and a worker failure is re-raised in
 the parent as a :class:`~repro.errors.SimulationError` naming the failing
 configuration's label — not an anonymous traceback from the middle of a
-pool.
+pool.  The batch is always fully drained before the failure is raised, so
+sibling points' results and observability snapshots are never dropped:
+they ride on the error as ``partial_results`` / ``partial_snapshots`` /
+``partial_configs``.  (Checkpointed, retrying execution lives one layer
+up, in :mod:`repro.campaign`.)
 
 The per-point entry functions are module-level so they pickle under the
 default ``spawn``/``fork`` start methods.
@@ -26,7 +30,7 @@ import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.errors import SimulationError
@@ -98,20 +102,6 @@ def _chunksize(num_tasks: int, workers: int) -> int:
     return max(1, num_tasks // (workers * 4))
 
 
-def _checked(
-    results: Iterable[tuple[RunResult, Optional[dict]] | _PointFailure],
-    configs: Sequence[SimulationConfig],
-) -> Iterator[tuple[RunResult, Optional[dict]]]:
-    """Unwrap guarded results in submission order, raising labelled failures."""
-    for config, result in zip(configs, results):
-        if isinstance(result, _PointFailure):
-            raise SimulationError(
-                f"sweep point {result.label!r} failed: {result.error}\n"
-                f"{result.trace}"
-            )
-        yield result
-
-
 def _run_batch(
     configs: Sequence[SimulationConfig],
     workers: int,
@@ -121,6 +111,13 @@ def _run_batch(
 
     Returns the run results and the matching per-point observability
     snapshots (all ``None`` when the configs carry ``obs_level=0``).
+
+    Failures are collected, not raised mid-iteration: the whole batch is
+    drained first, so a point failing mid-chunk never discards the results
+    or obs snapshots of sibling points that already completed.  The
+    :class:`~repro.errors.SimulationError` raised afterwards carries those
+    survivors as ``partial_results`` / ``partial_snapshots`` /
+    ``partial_configs`` (submission order), plus every failure's label.
     """
     if workers == 1 or len(configs) <= 1:
         raw: Iterable[tuple[RunResult, Optional[dict]] | _PointFailure] = map(
@@ -135,15 +132,39 @@ def _run_batch(
         )
     out: list[RunResult] = []
     snapshots: list[Optional[dict]] = []
+    done_configs: list[SimulationConfig] = []
+    failures: list[_PointFailure] = []
     try:
-        for cfg, (result, snap) in zip(configs, _checked(raw, configs)):
-            out.append(result)
+        for cfg, result in zip(configs, raw):
+            if isinstance(result, _PointFailure):
+                failures.append(result)
+                continue
+            run, snap = result
+            out.append(run)
             snapshots.append(snap)
+            done_configs.append(cfg)
             if on_result is not None:
-                on_result(cfg, result)
+                on_result(cfg, run)
     finally:
         if workers > 1 and len(configs) > 1:
             pool.shutdown()
+    if failures:
+        first = failures[0]
+        more = (
+            f"\n(and {len(failures) - 1} more failed point(s): "
+            f"{[f.label for f in failures[1:]]})"
+            if len(failures) > 1
+            else ""
+        )
+        error = SimulationError(
+            f"sweep point {first.label!r} failed: {first.error}\n"
+            f"{first.trace}{more}"
+        )
+        error.failures = failures
+        error.partial_results = out
+        error.partial_snapshots = snapshots
+        error.partial_configs = done_configs
+        raise error
     return out, snapshots
 
 

@@ -67,6 +67,10 @@ class SweepResult:
     #: observability rollup (see :func:`obs_rollup`); ``None`` unless the
     #: sweep ran with ``obs_level >= 1``
     obs: Optional[dict] = field(default=None, compare=False)
+    #: degraded points (:class:`repro.campaign.store.PointFailure`): loads a
+    #: campaign could not complete after exhausting retries.  Such loads are
+    #: absent from ``loads``/``results``; always empty outside campaigns.
+    failures: list = field(default_factory=list, compare=False)
 
     @property
     def normalized_deadlocks(self) -> list[float]:

@@ -1,0 +1,62 @@
+"""Regression: a mid-chunk worker failure must not drop sibling results.
+
+Before the fix, ``_run_batch`` raised at the first failed point, discarding
+the results and observability snapshots of every sibling point that had
+already completed in the same batch.  The batch is now fully drained and
+the raised :class:`~repro.errors.SimulationError` carries the survivors.
+"""
+
+import pytest
+
+from repro.config import tiny_default
+from repro.errors import SimulationError
+from repro.metrics.parallel import run_matrix_parallel
+
+FAST = dict(measure_cycles=300, warmup_cycles=50)
+
+
+def _mixed_configs():
+    good_a = tiny_default(**FAST, load=0.3, obs_level=1)
+    # num_vcs=0 fails validation inside the worker -> a real worker failure
+    bad = tiny_default(**FAST, load=0.5).replace(num_vcs=0)
+    good_b = tiny_default(**FAST, load=0.7, obs_level=1)
+    return good_a, bad, good_b
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sibling_results_and_obs_survive_mid_batch_failure(workers):
+    good_a, bad, good_b = _mixed_configs()
+    with pytest.raises(SimulationError) as excinfo:
+        run_matrix_parallel(
+            [good_a, bad, good_b], max_workers=workers, with_obs=True
+        )
+    error = excinfo.value
+    assert bad.label() in str(error)
+    # every sibling's result AND obs snapshot survived, in submission order
+    assert error.partial_configs == [good_a, good_b]
+    assert len(error.partial_results) == 2
+    assert [s is not None for s in error.partial_snapshots] == [True, True]
+    assert [f.label for f in error.failures] == [bad.label()]
+
+
+def test_all_failures_reported_not_just_first():
+    good_a, bad, _ = _mixed_configs()
+    bad2 = bad.replace(load=0.9)
+    with pytest.raises(SimulationError) as excinfo:
+        run_matrix_parallel([bad, good_a, bad2], max_workers=2, with_obs=True)
+    error = excinfo.value
+    assert [f.label for f in error.failures] == [bad.label(), bad2.label()]
+    assert "1 more failed point(s)" in str(error)
+    assert error.partial_configs == [good_a]
+
+
+def test_progress_fires_for_survivors():
+    good_a, bad, good_b = _mixed_configs()
+    seen = []
+    with pytest.raises(SimulationError):
+        run_matrix_parallel(
+            [good_a, bad, good_b],
+            max_workers=2,
+            progress=lambda cfg, res: seen.append(cfg.load),
+        )
+    assert seen == [good_a.load, good_b.load]

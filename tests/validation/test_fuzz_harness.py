@@ -120,7 +120,8 @@ def test_unknown_fault_name_rejected(monkeypatch):
 
 def test_known_faults_registry():
     assert KNOWN_FAULTS == {
-        "skip-dirty-acquire", "skip-dirty-block", "skip-wake"
+        "skip-dirty-acquire", "skip-dirty-block", "skip-wake",
+        "crash-point", "flaky-point", "hang-point",
     }
 
 
