@@ -13,13 +13,18 @@
 # 4. runs the observability smoke gate: a pinned traced scenario whose
 #    exported Chrome/JSONL traces must parse with the expected span names,
 #    plus the <=10% overhead bound for obs_level=1 (scripts/obs_smoke.py);
-# 5. runs the differential fuzz smoke sweep: 25 seeded random configs
-#    cross-checked on the engine/detector/CWG axes under a 60 s budget
-#    (deterministic — a CI failure replays locally with the same command);
-# 6. runs the campaign smoke gate: a 2-point campaign interrupted after one
+# 5. runs the vectorized-engine equivalence gate: the A/B/C bit-identity
+#    suite (legacy / fast path / vectorized), the SoA mirror property
+#    tests and the golden-trace digests, all of which the vectorized
+#    engine must reproduce verbatim;
+# 6. runs the differential fuzz smoke sweep: 25 seeded random configs
+#    cross-checked on the engine/vectorized/detector/CWG axes under a
+#    90 s budget (deterministic — a CI failure replays locally with the
+#    same command);
+# 7. runs the campaign smoke gate: a 2-point campaign interrupted after one
 #    point, resumed, and checked bit-identical against a direct sweep with
 #    a consistent store manifest (scripts/campaign_smoke.py);
-# 7. runs the documentation drift gate: every repro.* symbol named in
+# 8. runs the documentation drift gate: every repro.* symbol named in
 #    docs/API.md must resolve against the live package, and every relative
 #    markdown link in the repo must point at an existing file.
 set -euo pipefail
@@ -36,6 +41,12 @@ python scripts/bench_baseline.py --check
 
 echo "== observability smoke (trace schema + overhead gate) =="
 python scripts/obs_smoke.py
+
+echo "== vectorized engine equivalence (A/B/C bit-identity + SoA mirrors) =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
+    tests/integration/test_fast_path_equivalence.py \
+    tests/properties/test_soa_mirrors.py \
+    tests/golden
 
 echo "== differential fuzz smoke (see docs/TESTING.md) =="
 python scripts/fuzz_differential.py --smoke --quiet

@@ -46,7 +46,7 @@ from repro.validation.differential import (  # noqa: E402
 
 SMOKE_CONFIGS = 25
 SMOKE_SEED = 20260806
-SMOKE_BUDGET_SECONDS = 60.0
+SMOKE_BUDGET_SECONDS = 90.0
 
 
 def _artifact_name(axis: str, seed: int, index: int) -> str:
@@ -55,7 +55,7 @@ def _artifact_name(axis: str, seed: int, index: int) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="differential fuzzing of engine/detector/CWG equivalence"
+        description="differential fuzzing of engine/vectorized/detector/CWG equivalence"
     )
     parser.add_argument("--configs", type=int, default=50, help="configs to draw")
     parser.add_argument("--seed", type=int, default=1, help="fuzz RNG seed")

@@ -89,6 +89,15 @@ class SimulationConfig:
     #: short-circuiting.  Bit-identical to the legacy full-rescan path (same
     #: seed -> same RunResult); off selects the legacy path for A/B tests.
     engine_fast_path: bool = True
+    #: vectorized structure-of-arrays engine core
+    #: (:class:`repro.network.vectorized.VectorizedEngine`): index-mapped
+    #: numpy/array mirrors of channel and message state, precomputed batch
+    #: candidate tables, and an inline C-backed arbitration stream.  Builds
+    #: on the fast path's activity flags, so it requires
+    #: ``engine_fast_path=True``.  Bit-identical to both other engines
+    #: (same seed -> same RunResult and deadlock-event stream); off selects
+    #: the object-model engines for A/B/C tests.
+    engine_vectorized: bool = False
     #: observability (:mod:`repro.obs`): 0 = off (the default — instrumented
     #: call sites cost one attribute lookup against a no-op singleton),
     #: 1 = metrics registry + per-phase profiler, 2 = level 1 plus the
@@ -144,6 +153,11 @@ class SimulationConfig:
         if self.obs_trace_capacity < 1:
             raise ConfigurationError(
                 f"obs_trace_capacity must be >= 1, got {self.obs_trace_capacity}"
+            )
+        if self.engine_vectorized and not self.engine_fast_path:
+            raise ConfigurationError(
+                "engine_vectorized builds on the fast path's activity "
+                "flags; it requires engine_fast_path=True"
             )
         if self.mesh and not self.bidirectional:
             raise ConfigurationError("meshes are always bidirectional")

@@ -194,6 +194,11 @@ class DeadlockDetector:
         self._cache_sim: Optional["NetworkSimulator"] = None
         self._prev_regions: dict[frozenset, _RegionAnalysis] = {}
         self._sig_cache: OrderedDict[tuple, _RegionAnalysis] = OrderedDict()
+        # incremental knot tracking (cached mode without the cycle census):
+        # the knots of the previous pass and their densities, keyed by
+        # vertex set — see _analyze_tracked
+        self._kt_sim: Optional["NetworkSimulator"] = None
+        self._kt_knots: dict[frozenset, CycleCount] = {}
         # cache accounting (always maintained — a handful of integer
         # increments per pass; surfaced by cache_stats() and repro.obs)
         self.region_hits = 0  #: regions reused clean via exact vertex set
@@ -203,6 +208,10 @@ class DeadlockDetector:
         self.full_passes = 0  #: global (uncached) analysis passes
         self.cached_passes = 0  #: dirty-region analysis passes
         self.shortcircuit_passes = 0  #: passes skipped on a stale epoch
+        self.tracked_passes = 0  #: incremental knot-tracking passes
+        self.tracked_rescans = 0  #: tracked passes that fell back to Tarjan
+        self.knots_reused = 0  #: persisting knots reused without re-analysis
+        self.knots_discovered = 0  #: knots found by dirty-vertex closure walks
         # observability session of the sim under detection (None or the
         # process-global null observer when obs is off)
         self._obs = None
@@ -216,8 +225,13 @@ class DeadlockDetector:
         the LRU; ``region_misses`` are fresh analyses; ``signature_evictions``
         counts LRU entries dropped at capacity.  Pass counters split
         detector invocations into full (global analysis), cached
-        (dirty-region) and short-circuited (stale blocked epoch) passes.
-        Counters are cumulative over the detector's lifetime.
+        (dirty-region), tracked (incremental knot tracking) and
+        short-circuited (stale blocked epoch) passes; ``tracked_rescans``
+        counts tracked passes that chose the global-Tarjan fallback, and
+        ``knots_reused`` / ``knots_discovered`` split the knots reported by
+        tracked passes into persisting (density reused) and new (closure
+        walk or rescan).  Counters are cumulative over the detector's
+        lifetime.
         """
         return {
             "region_hits": self.region_hits,
@@ -227,6 +241,10 @@ class DeadlockDetector:
             "full_passes": self.full_passes,
             "cached_passes": self.cached_passes,
             "shortcircuit_passes": self.shortcircuit_passes,
+            "tracked_passes": self.tracked_passes,
+            "tracked_rescans": self.tracked_rescans,
+            "knots_reused": self.knots_reused,
+            "knots_discovered": self.knots_discovered,
         }
 
     # -- CWG construction ------------------------------------------------------------
@@ -308,8 +326,16 @@ class DeadlockDetector:
         g = sim.cwg_view() if hasattr(sim, "cwg_view") else sim.cwg_snapshot()
         tracker = getattr(sim, "tracker", None)
         if self.caching and tracker is not None:
-            self.cached_passes += 1
-            events, cycle_count = self._analyze_cached(sim, g, tracker, cycle)
+            if self.count_cycles:
+                self.cached_passes += 1
+                events, cycle_count = self._analyze_cached(sim, g, tracker, cycle)
+            else:
+                # No census wanted: knots are all that matters, and they
+                # can be maintained incrementally across passes instead of
+                # recomputed per region (see _analyze_tracked).
+                self.tracked_passes += 1
+                events = self._analyze_tracked(sim, g, tracker, cycle)
+                cycle_count = None
         else:
             self.full_passes += 1
             adjacency = g.adjacency()
@@ -583,6 +609,201 @@ class DeadlockDetector:
         if prof is not None:
             prof.add("detect/census", perf_counter() - t0)
         return _RegionAnalysis(events=events, census=census)
+
+    # -- incremental knot tracking ----------------------------------------------------
+    def _analyze_tracked(
+        self,
+        sim: "NetworkSimulator",
+        g: WaitGraphQueries,
+        tracker: "IncrementalCWG",
+        cycle: int,
+    ) -> list[DeadlockEvent]:
+        """Events via knot persistence + dirty-vertex discovery (no census).
+
+        The pass maintains the invariant that ``self._kt_knots`` holds
+        exactly the knots of the previous pass (vertex set -> density).
+        Correctness rests on three facts about the tracker's dirty
+        contract (every arc-source mutation and ownership change marks the
+        vertex dirty):
+
+        * **Persistence.**  A previous knot none of whose vertices went
+          dirty is still exactly a knot: sink-ness and strong connectivity
+          depend only on arcs *sourced inside* the knot, all of which are
+          unchanged.  Its internal arc structure is unchanged too, so its
+          cycle density is reused verbatim.
+        * **Locality.**  Every *new* knot contains at least one dirty
+          vertex: a knot made only of clean vertices had the same
+          out-arcs last pass, hence was already a knot then (and so
+          persisted).  On the very first pass the dirty set contains every
+          owned vertex (acquisition dirties), so nothing is missed.
+        * **Discovery.**  For a dirty vertex ``v``, a forward closure walk
+          either (a) completes, yielding ``R = reach(v)`` — ``v`` lies in
+          a knot iff ``R`` is strongly connected (checked by one reverse
+          traversal inside ``R``) and, for ``|R| == 1``, carries a
+          self-loop; ``R`` strongly connected and forward-closed is
+          automatically a *maximal* SCC — or (b) touches a vertex already
+          known to be in a (surviving or just-found) knot or already
+          cleared, which proves ``v`` itself is in no knot (its reach
+          strictly contains another knot, or escapes through a knot-free
+          vertex).  Only ``v`` is cleared on abort: other visited vertices
+          sit on branches that need not reach the abort trigger.
+
+        Worst-case discovery is O(|dirty| x region size), dangerous in the
+        churny pre-knot regime, so a pass falls back to one global
+        chain-contracted Tarjan scan — still reusing densities of clean
+        persisting knots — whenever the dirty set is large relative to the
+        graph or a closure walk blows a step budget.  Both paths emit
+        identical events, so the heuristic never affects results.
+
+        Event construction matches :meth:`_knot_event` field by field;
+        deadlock/resource/dependent sets are recomputed fresh every pass
+        (a clean knot's *owners* and chain prefixes outside the knot can
+        change without dirtying knot vertices), while densities — a
+        function of knot-internal arcs only — persist.
+        """
+        if self._kt_sim is not sim:
+            self._kt_sim = sim
+            self._kt_knots = {}
+        obs = self._obs
+        prof = obs.profiler if obs is not None else None
+        t0 = perf_counter() if prof is not None else 0.0
+        dirty = tracker.consume_dirty()
+        persist = self._kt_knots
+        surviving: dict[frozenset, CycleCount] = {}
+        for knot, density in persist.items():
+            if dirty.isdisjoint(knot):
+                surviving[knot] = density
+        self.knots_reused += len(surviving)
+
+        owned = len(tracker.owner)
+        found = self._discover_incremental(tracker, dirty, surviving)
+        if found is None:
+            self.tracked_rescans += 1
+            found = self._discover_rescan(tracker, surviving)
+        new_knots = dict(surviving)
+        new_knots.update(found)
+        self.knots_discovered += len(found)
+
+        events = []
+        for knot in sorted(new_knots, key=_knot_key):
+            density = new_knots[knot]
+            deadlock_set = frozenset(g.messages_owning(knot))
+            deps, transients = self._dependents(g, deadlock_set)
+            events.append(
+                DeadlockEvent(
+                    cycle=cycle,
+                    knot=knot,
+                    deadlock_set=deadlock_set,
+                    resource_set=frozenset(g.resources_of(deadlock_set)),
+                    knot_cycle_density=density.count,
+                    density_saturated=density.saturated,
+                    dependent=deps,
+                    transient_dependent=transients,
+                )
+            )
+        self._kt_knots = new_knots
+        if prof is not None:
+            prof.add("detect/knot_track", perf_counter() - t0)
+            reg = obs.registry
+            reg.histogram("detector/dirty_per_pass").observe(len(dirty))
+            reg.histogram("detector/tracked_vertices").observe(owned)
+        return events
+
+    def _discover_incremental(
+        self,
+        tracker: "IncrementalCWG",
+        dirty: set,
+        surviving: dict,
+    ) -> Optional[dict]:
+        """New knots by closure walks from dirty vertices, or None to bail.
+
+        Returns ``None`` when the dirty set is too large a fraction of the
+        graph for per-vertex walks to beat one global Tarjan scan, or when
+        the walks exceed their collective step budget mid-pass (partial
+        finds are discarded; the rescan recomputes everything).
+        """
+        owned = len(tracker.owner)
+        if len(dirty) * 8 > owned:
+            return None
+        successors = tracker.successors
+        in_known: set = set()
+        for knot in surviving:
+            in_known.update(knot)
+        cleared: set = set()
+        found: dict[frozenset, CycleCount] = {}
+        budget = 4 * owned + 256
+        for v in dirty:
+            if v in cleared or v in in_known:
+                continue
+            # forward closure walk, aborting on contact with known state
+            visited = {v}
+            stack = [v]
+            aborted = False
+            while stack:
+                u = stack.pop()
+                for w in successors(u):
+                    if w in visited:
+                        continue
+                    if w in in_known or w in cleared:
+                        aborted = True
+                        break
+                    visited.add(w)
+                    stack.append(w)
+                budget -= 1
+                if aborted or budget <= 0:
+                    break
+            if not aborted and stack:
+                return None  # budget exhausted mid-walk: bail to the rescan
+            if aborted:
+                cleared.add(v)
+                continue
+            # visited == reach(v); knot iff strongly connected (+ self-loop
+            # for singletons)
+            if len(visited) == 1:
+                if v not in successors(v):
+                    cleared.add(v)
+                    continue
+            else:
+                preds: dict = {u: [] for u in visited}
+                for u in visited:
+                    for w in successors(u):
+                        preds[w].append(u)
+                seen = {v}
+                rstack = [v]
+                while rstack:
+                    u = rstack.pop()
+                    for p in preds[u]:
+                        if p not in seen:
+                            seen.add(p)
+                            rstack.append(p)
+                if len(seen) != len(visited):
+                    cleared.add(v)
+                    continue
+            knot = frozenset(visited)
+            sub = {
+                u: [w for w in successors(u) if w in knot] for u in knot
+            }
+            found[knot] = self._knot_density(sub)
+            in_known.update(knot)
+        return found
+
+    def _discover_rescan(
+        self, tracker: "IncrementalCWG", surviving: dict
+    ) -> dict:
+        """All current knots by one global chain-contracted Tarjan scan.
+
+        Clean persisting knots keep their cached densities (a rescan finds
+        the same vertex sets); only genuinely new knots are enumerated.
+        """
+        adjacency = tracker.adjacency()
+        contracted = contract_graph(adjacency)
+        found: dict[frozenset, CycleCount] = {}
+        for knot in find_knots_contracted(contracted):
+            if knot in surviving:
+                continue
+            sub = {v: [w for w in adjacency[v] if w in knot] for v in knot}
+            found[knot] = self._knot_density(sub)
+        return found
 
     def _knot_density(self, sub: dict) -> CycleCount:
         """Simple-cycle count within a knot, with structural shortcuts.

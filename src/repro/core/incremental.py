@@ -74,6 +74,12 @@ class IncrementalCWG(WaitGraphQueries):
         self.chains: dict[int, deque[Vertex]] = {}
         self.requests: dict[int, list[Vertex]] = {}
         self.owner: dict[Vertex, int] = {}
+        #: solid-arc successor per owned vertex: the next vertex along the
+        #: owner's chain, or None at the chain head (the newest VC, whose
+        #: outgoing arcs — if any — are the dashed ``requests``).  Maintained
+        #: so per-vertex successor queries are O(1) without scanning chains;
+        #: the incremental knot tracker's closure walks depend on it.
+        self.next_in_chain: dict[Vertex, Vertex | None] = {}
         #: vertices whose ownership or adjacency changed since the last
         #: :meth:`consume_dirty` — the detector's region-invalidation feed.
         #: Bounded by the network's resource universe (vertices are reused
@@ -130,7 +136,9 @@ class IncrementalCWG(WaitGraphQueries):
             # the old tail gains a solid arc (and sheds its dashed arcs)
             if not self._fault_skip_dirty_acquire:
                 self.dirty.add(chain[-1])
+            self.next_in_chain[chain[-1]] = vertex
             chain.append(vertex)
+        self.next_in_chain[vertex] = None
         if not self._fault_skip_dirty_acquire:
             self.dirty.add(vertex)
         # acquiring anything ends the current blocked state
@@ -146,6 +154,7 @@ class IncrementalCWG(WaitGraphQueries):
             )
         chain.popleft()
         del self.owner[vertex]
+        del self.next_in_chain[vertex]
         self.dirty.add(vertex)
         if chain:
             self.dirty.add(chain[0])
@@ -177,8 +186,27 @@ class IncrementalCWG(WaitGraphQueries):
         if chain is not None:
             for vertex in chain:
                 del self.owner[vertex]
+                del self.next_in_chain[vertex]
             self.dirty.update(chain)
         self.requests.pop(message, None)
+
+    def successors(self, vertex: Vertex):
+        """Out-neighbours of ``vertex``: its solid arc or its dashed arcs.
+
+        An owned interior vertex has exactly one successor (the next vertex
+        of its owner's chain); the chain head's successors are the owner's
+        request targets, if it is blocked; a free vertex (a request target
+        owned by nobody) has none.  Matches :meth:`adjacency` row for row —
+        no vertex ever carries both solid and dashed out-arcs, because
+        dashed arcs originate only at chain heads.
+        """
+        nxt = self.next_in_chain.get(vertex)
+        if nxt is not None:
+            return (nxt,)
+        message = self.owner.get(vertex)
+        if message is None:
+            return ()
+        return self.requests.get(message) or ()
 
     # -- views ------------------------------------------------------------------------
     @property
@@ -241,6 +269,24 @@ class IncrementalCWG(WaitGraphQueries):
         for v, m in self.owner.items():
             if v not in self.chains.get(m, ()):
                 raise SimulationError(f"orphan ownership {v!r} -> {m}")
+        expected_next: dict[Vertex, Vertex | None] = {}
+        for chain in self.chains.values():
+            prev: Vertex | None = None
+            for v in chain:
+                if prev is not None:
+                    expected_next[prev] = v
+                prev = v
+            if prev is not None:
+                expected_next[prev] = None
+        if self.next_in_chain != expected_next:
+            diff = [
+                v
+                for v in set(self.next_in_chain) | set(expected_next)
+                if self.next_in_chain.get(v, -1) != expected_next.get(v, -1)
+            ]
+            raise SimulationError(
+                f"next_in_chain map diverges from chains at {diff[:5]}"
+            )
         for m in self.requests:
             if m not in self.chains:
                 raise SimulationError(f"requests retained for chainless {m}")

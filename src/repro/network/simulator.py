@@ -101,7 +101,22 @@ class NetworkSimulator:
     replaying the given trace for the default Bernoulli source (the
     paper's "program-driven simulation" extension); ``config.load`` and
     ``config.traffic`` are then ignored.
+
+    With ``config.engine_vectorized`` construction dispatches to
+    :class:`~repro.network.vectorized.VectorizedEngine` (a subclass
+    working over structure-of-arrays state mirrors), so call sites keep
+    instantiating ``NetworkSimulator`` regardless of engine choice.  All
+    three engine variants are bit-identical given the same seed.
     """
+
+    def __new__(cls, config: SimulationConfig = None, trace=None):
+        if cls is NetworkSimulator and getattr(
+            config, "engine_vectorized", False
+        ):
+            from repro.network.vectorized import VectorizedEngine
+
+            return object.__new__(VectorizedEngine)
+        return object.__new__(cls)
 
     def __init__(self, config: SimulationConfig, trace=None) -> None:
         config.validate()

@@ -1,16 +1,19 @@
 """Deterministic differential fuzzing of the simulator's optimized paths.
 
-The repo carries three pairs of independently-implemented equivalents:
+The repo carries four pairs of independently-implemented equivalents:
 
 * **engine** — the activity-tracked fast path vs the legacy full-rescan
   engine (``engine_fast_path``),
+* **vectorized** — the structure-of-arrays vectorized core vs the legacy
+  engine (``engine_vectorized``; legacy is the ground truth, so this axis
+  is independent of the fast path's own bookkeeping),
 * **detector** — dirty-region cached detection vs the per-pass global
   analysis (``detector_caching``),
 * **cwg** — the event-maintained :class:`IncrementalCWG` vs a from-scratch
   :meth:`DeadlockDetector.build_cwg` rebuild.
 
-Each pair is documented bit-identical; the hand-written A/B suites cover a
-fixed case matrix.  This module covers the space *between* the hand-picked
+Each pair is documented bit-identical; the hand-written A/B/C suites cover
+a fixed case matrix.  This module covers the space *between* the hand-picked
 cases: :func:`random_config` draws a seeded random configuration across
 topology / routing / VC / buffer / traffic / detection / recovery space,
 :func:`check_config` cross-checks all three axes on it, and
@@ -50,15 +53,15 @@ __all__ = [
     "load_artifact",
 ]
 
-#: the three differential axes, in checking order
-AXES = ("engine", "detector", "cwg")
+#: the four differential axes, in checking order
+AXES = ("engine", "vectorized", "detector", "cwg")
 
 
 @dataclass(frozen=True)
 class FuzzMismatch:
     """One confirmed divergence between paired implementations."""
 
-    axis: str  #: "engine" | "detector" | "cwg"
+    axis: str  #: "engine" | "vectorized" | "detector" | "cwg"
     config: SimulationConfig  #: a configuration reproducing the divergence
     detail: str  #: human-readable description of the first difference
 
@@ -125,10 +128,12 @@ def _draw_config(rng: random.Random) -> SimulationConfig:
         timeout_threshold=100,
         recovery=rng.choice(["disha", "disha", "abort-all", "none"]),
         recovery_teardown=rng.choice(["instant", "instant", "flit-by-flit"]),
-        # keep the census on (it exercises the per-region cache merge paths)
-        # but cap it low: saturated misrouting nets otherwise spend tens of
-        # seconds enumerating cycles per detection, blowing the smoke budget
-        count_cycles=True,
+        # keep the census mostly on (it exercises the per-region cache
+        # merge paths) but cap it low: saturated misrouting nets otherwise
+        # spend tens of seconds enumerating cycles per detection, blowing
+        # the smoke budget; census-off draws fuzz the incremental
+        # knot-tracking detector path instead
+        count_cycles=rng.random() < 0.75,
         max_cycles_counted=1_000,
         record_blocked_durations=rng.random() < 0.3,
         warmup_cycles=0,
@@ -196,6 +201,39 @@ def compare_engine(config: SimulationConfig) -> Optional[str]:
     )
 
 
+def compare_vectorized(config: SimulationConfig) -> Optional[str]:
+    """SoA vectorized engine vs the legacy engine; None when bit-identical.
+
+    Legacy — not the fast path — is the reference: the vectorized core
+    inherits the fast path's activity flags, so comparing against legacy
+    keeps the implementations maximally independent (and a fault injected
+    into the shared fast-path bookkeeping still diverges here).
+    """
+    outcomes = {}
+    for flags in (
+        dict(engine_fast_path=True, engine_vectorized=True),
+        dict(engine_fast_path=False, engine_vectorized=False),
+    ):
+        sim = NetworkSimulator(config.replace(**flags))
+        result = sim.run()
+        outcomes[flags["engine_vectorized"]] = (
+            _result_fingerprint(result),
+            _event_fingerprint(sim.detector.events),
+        )
+    if outcomes[True] == outcomes[False]:
+        return None
+    vec_res, vec_ev = outcomes[True]
+    legacy_res, legacy_ev = outcomes[False]
+    if vec_res != legacy_res:
+        return (
+            f"vectorized engine diverges: {_first_diff(vec_res, legacy_res)}"
+        )
+    return (
+        f"vectorized engine deadlock events diverge: "
+        f"{len(vec_ev)} vectorized vs {len(legacy_ev)} legacy events"
+    )
+
+
 def compare_detector(config: SimulationConfig) -> Optional[str]:
     """Cached vs uncached detector (incremental maintenance forced)."""
     base = config.replace(cwg_maintenance="incremental")
@@ -239,6 +277,7 @@ def compare_cwg(config: SimulationConfig) -> Optional[str]:
 
 _AXIS_CHECKS: dict[str, Callable[[SimulationConfig], Optional[str]]] = {
     "engine": compare_engine,
+    "vectorized": compare_vectorized,
     "detector": compare_detector,
     "cwg": compare_cwg,
 }

@@ -102,6 +102,28 @@ CASES = {
         routing="tfar", load=1.0, max_cycles_counted=10
     ),
     "census_disabled": dict(routing="tfar", load=1.0, count_cycles=False),
+    # -- incremental knot tracking (census off selects _analyze_tracked) ------------
+    "tracked_persistent_knots": dict(
+        routing="dor",
+        load=0.95,
+        num_vcs=1,
+        recovery="none",
+        count_cycles=False,
+    ),
+    "tracked_legacy_engine": dict(
+        routing="dor",
+        load=1.0,
+        num_vcs=1,
+        count_cycles=False,
+        engine_fast_path=False,
+    ),
+    "tracked_timeout_mode": dict(
+        routing="tfar",
+        load=1.0,
+        count_cycles=False,
+        detection_mode="timeout",
+        timeout_threshold=100,
+    ),
     # -- engine / maintenance interaction --------------------------------------------
     "legacy_engine": dict(routing="tfar", load=1.0, engine_fast_path=False),
     "rebuild_fallback": dict(
@@ -145,6 +167,10 @@ CACHE_STAT_KEYS = {
     "full_passes",
     "cached_passes",
     "shortcircuit_passes",
+    "tracked_passes",
+    "tracked_rescans",
+    "knots_reused",
+    "knots_discovered",
 }
 
 

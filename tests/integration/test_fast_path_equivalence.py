@@ -1,14 +1,18 @@
-"""A/B equivalence: the activity-tracked fast path is bit-identical.
+"""A/B/C equivalence: all three engine cores are bit-identical.
 
 ``engine_fast_path`` restructures the engine's hot loops around
 incrementally-maintained activity state (routable flags, a stalled-message
 wake index, immobile-worm skipping, detection short-circuiting on the
-blocked epoch).  All of it is pure optimization: with the same seed, the
-fast and legacy paths must produce the **same** :class:`RunResult` fields
-and the **same** sequence of :class:`DeadlockEvent`\\ s.
+blocked epoch); ``engine_vectorized`` additionally rebuilds the hot phases
+over structure-of-arrays mirrors, batch candidate tables and an inline
+arbitration RNG stream.  All of it is pure optimization: with the same
+seed, the legacy, fast-path and vectorized engines must produce the
+**same** :class:`RunResult` fields and the **same** sequence of
+:class:`DeadlockEvent`\\ s.
 
-Every case runs the identical configuration twice — fast path on and off —
-and compares everything except the config object itself.  Cases cover the
+Every case runs the identical configuration three times — legacy, fast
+path, vectorized — and compares everything except the config object
+itself.  Cases cover the
 matrix the engine branches on: DOR/TFAR (plus the misrouting variant whose
 candidate sets change as a blocked message's tail drains), uni- and
 bidirectional tori, 1–4 VCs, wormhole and virtual cut-through switching,
@@ -51,23 +55,33 @@ def _event_keys(sim):
     ]
 
 
+ENGINES = {
+    "legacy": dict(engine_fast_path=False, engine_vectorized=False),
+    "fast": dict(engine_fast_path=True, engine_vectorized=False),
+    "vectorized": dict(engine_fast_path=True, engine_vectorized=True),
+}
+
+
 def _run_pair(**overrides):
     params = dict(measure_cycles=1500, warmup_cycles=100, seed=7)
     params.update(overrides)
     cfg = tiny_default(**params)
     out = {}
-    for fast in (True, False):
-        sim = NetworkSimulator(cfg.replace(engine_fast_path=fast))
+    for name, flags in ENGINES.items():
+        sim = NetworkSimulator(cfg.replace(**flags))
         result = sim.run()
-        out[fast] = (sim, result)
+        out[name] = (sim, result)
     return out
 
 
-def _assert_identical(pair):
-    fast_sim, fast_result = pair[True]
-    legacy_sim, legacy_result = pair[False]
-    assert _result_fields(fast_result) == _result_fields(legacy_result)
-    assert _event_keys(fast_sim) == _event_keys(legacy_sim)
+def _assert_identical(runs):
+    legacy_sim, legacy_result = runs["legacy"]
+    legacy_fields = _result_fields(legacy_result)
+    legacy_events = _event_keys(legacy_sim)
+    for name in ("fast", "vectorized"):
+        sim, result = runs[name]
+        assert _result_fields(result) == legacy_fields, name
+        assert _event_keys(sim) == legacy_events, name
     # the workload actually exercised the engine
     assert legacy_result.delivered > 0
 
@@ -173,8 +187,8 @@ def test_detection_records_match():
     pair = _run_pair(
         routing="tfar", load=0.9, cwg_maintenance="incremental"
     )
-    fast_records = pair[True][0].detector.records
-    legacy_records = pair[False][0].detector.records
+    fast_records = pair["vectorized"][0].detector.records
+    legacy_records = pair["legacy"][0].detector.records
     assert len(fast_records) == len(legacy_records)
     for fr, lr in zip(fast_records, legacy_records):
         assert fr.cycle == lr.cycle
@@ -190,3 +204,24 @@ def test_fast_path_is_default():
     assert cfg.engine_fast_path is True
     sim = NetworkSimulator(cfg)
     assert sim.fast_path is True
+
+
+def test_vectorized_is_opt_in():
+    """The vectorized core is flag-gated and dispatched transparently."""
+    from repro.network.vectorized import VectorizedEngine
+
+    cfg = tiny_default()
+    assert cfg.engine_vectorized is False
+    assert type(NetworkSimulator(cfg)) is NetworkSimulator
+
+    vec = NetworkSimulator(cfg.replace(engine_vectorized=True))
+    assert type(vec) is VectorizedEngine
+    assert isinstance(vec, NetworkSimulator)
+
+
+def test_vectorized_requires_fast_path():
+    from repro.errors import ConfigurationError
+
+    cfg = tiny_default(engine_vectorized=True, engine_fast_path=False)
+    with pytest.raises(ConfigurationError):
+        NetworkSimulator(cfg)

@@ -148,5 +148,16 @@ def test_artifact_roundtrip(tmp_path):
     assert dataclasses.asdict(config) == dataclasses.asdict(SATURATED)
 
 
-def test_axes_are_the_documented_three():
-    assert AXES == ("engine", "detector", "cwg")
+def test_axes_are_the_documented_four():
+    assert AXES == ("engine", "vectorized", "detector", "cwg")
+
+
+def test_skip_wake_is_caught_by_vectorized_axis(monkeypatch):
+    """The vectorized axis compares against legacy, so a fast-path fault
+    shared by both optimized engines still diverges here."""
+    monkeypatch.setenv(ENV_VAR, "skip-wake")
+    mismatches = check_config(SATURATED, axes=("vectorized",))
+    assert mismatches, (
+        "skip-wake fault was not detected by the vectorized axis"
+    )
+    assert mismatches[0].axis == "vectorized"
