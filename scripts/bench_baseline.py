@@ -4,17 +4,18 @@
 Runs the core engine/detector scenarios from ``benchmarks/`` in a quick,
 seed-fixed mode and records:
 
-* **cycles/sec** for each engine scenario across all three engines
-  (legacy, fast path, vectorized), reps interleaved across engines so a
-  background-load transient slows every engine's same-numbered rep
-  instead of skewing one engine's whole measurement,
-* the fast-vs-legacy and vectorized-vs-legacy **speedups** on the
-  saturated acceptance scenario (16-ary 2-cube, TFAR, load 0.9 — the
-  configuration every figure sweep spends its time in); the vectorized
-  engine is gated at ≥ 5×, the fast path keeps its ≥ 2× bar,
+* **cycles/sec** for each engine scenario across all four engines
+  (legacy, fast path, vectorized, kernels), reps interleaved across
+  engines so a background-load transient slows every engine's
+  same-numbered rep instead of skewing one engine's whole measurement,
+* the fast/vectorized/kernels-vs-legacy **speedups** on the saturated
+  acceptance scenario (16-ary 2-cube, TFAR, load 0.9 — the
+  configuration every figure sweep spends its time in); the kernel
+  engine is gated at ≥ 10×, the vectorized engine at ≥ 5×, the fast
+  path keeps its ≥ 2× bar,
 * the **cumulative ablation** of the same scenario (``--ablation``
   prints it standalone and merges the record into the baseline):
-  legacy → +fast-path → +detector-caching → +vectorized,
+  legacy → +fast-path → +detector-caching → +vectorized → +kernels,
 * **detector µs/pass** with and without the blocked-epoch short-circuit,
 * **detector-census µs/pass** (the same saturated 16-ary with
   ``count_cycles=True``, passes driven by the engine itself so dirty sets
@@ -66,7 +67,16 @@ ENGINE_SCENARIOS = {
             cwg_maintenance="incremental",
             count_cycles=False,
         ),
-        warm=150,
+        # The scenario's name is the *saturated steady state*: at load 0.9
+        # the 16-ary network saturates around cycle ~300 but keeps deepening
+        # (longer blocked chains, bigger knots, higher parked fractions)
+        # until per-window rates flatten out around cycle ~2500.  Paper
+        # campaigns run tens of thousands of cycles, so >95% of their
+        # wall-clock is spent in that deep regime — warm past the transient
+        # so the recorded rates (and speedup ratios) describe the state a
+        # sweep actually pays for.  The transient itself is covered by the
+        # two moderate scenarios below.
+        warm=2550,
         cycles=400,
     ),
     "engine_moderate_8ary": dict(
@@ -91,6 +101,9 @@ ENGINE_FLAGS = {
     "legacy": dict(engine_fast_path=False, engine_vectorized=False),
     "fast": dict(engine_fast_path=True, engine_vectorized=False),
     "vectorized": dict(engine_fast_path=True, engine_vectorized=True),
+    "kernels": dict(
+        engine_fast_path=True, engine_vectorized=True, engine_kernels=True
+    ),
 }
 
 
@@ -140,7 +153,8 @@ def _ablation() -> dict:
 
     Each level adds one optimization layer on top of the previous:
     plain legacy engine, + fast-path activity tracking, + detector
-    caching (dirty-region/knot tracking), + the vectorized SoA core.
+    caching (dirty-region/knot tracking), + the vectorized SoA core,
+    + the batched array kernels on top of it.
     """
     levels = {
         "legacy": dict(
@@ -161,6 +175,12 @@ def _ablation() -> dict:
         "+vectorized": dict(
             engine_fast_path=True,
             engine_vectorized=True,
+            detector_caching=True,
+        ),
+        "+kernels": dict(
+            engine_fast_path=True,
+            engine_vectorized=True,
+            engine_kernels=True,
             detector_caching=True,
         ),
     }
@@ -350,15 +370,48 @@ def _share_pct(part_s: float, total_s: float) -> float:
     return pct
 
 
+#: nested phase-name prefix -> the enclosing top-level phase.  The detector
+#: accounts its region pipeline under ``detect/*`` while it runs *inside*
+#: the engine's ``engine/detect`` timer, so a child's wall-clock is counted
+#: twice in a raw snapshot.
+_NESTED_UNDER = {"detect/": "engine/detect"}
+
+
+def _exclusive_times(snap: dict) -> dict[str, float]:
+    """Exclusive (self) seconds per phase: parents minus their nested children.
+
+    The raw profiler snapshot is inclusive — ``engine/detect`` contains the
+    time the detector also books under ``detect/*`` — so summing shares over
+    a raw snapshot exceeds 100%.  Subtracting each child group from its
+    parent makes the rows disjoint: they add up to the engine total (and
+    their shares to at most 100%).  Clamped at zero so timer jitter on a
+    near-empty parent can't go negative.
+    """
+    exclusive = {name: rec["total_s"] for name, rec in snap.items()}
+    for prefix, parent in _NESTED_UNDER.items():
+        if parent not in exclusive:
+            continue
+        nested = sum(
+            rec["total_s"]
+            for name, rec in snap.items()
+            if name.startswith(prefix)
+        )
+        exclusive[parent] = max(0.0, exclusive[parent] - nested)
+    return exclusive
+
+
 def _phase_breakdown() -> dict:
     """Per-phase wall-clock split of the acceptance scenario.
 
     Runs the saturated 16-ary scenario once with ``obs_level=1`` (phase
     profiler on), discards the warmup cycles, and records where the engine's
     time goes — generate / allocate / move / detect, plus the detector's
-    region pipeline when caching kicks in.  Shares are ratios and transfer
-    across machines; they are recorded for diagnosis (printed when the
-    benchmark gate fails), not gated themselves.
+    region pipeline when caching kicks in.  Each row reports its *exclusive*
+    self-time (``self_ms``: nested ``detect/*`` children subtracted from
+    ``engine/detect``) next to the raw inclusive total; shares are computed
+    from the exclusive times so they sum to at most 100%.  Shares are ratios
+    and transfer across machines; they are recorded for diagnosis (printed
+    when the benchmark gate fails), not gated themselves.
     """
     spec = ENGINE_SCENARIOS[ACCEPTANCE_SCENARIO]
     cfg = spec["factory"](
@@ -376,6 +429,7 @@ def _phase_breakdown() -> dict:
     for _ in range(spec["cycles"]):
         sim.step()
     snap = sim.obs.profiler.snapshot()
+    exclusive = _exclusive_times(snap)
     engine_total = sum(
         rec["total_s"] for name, rec in snap.items()
         if name.startswith("engine/")
@@ -383,9 +437,10 @@ def _phase_breakdown() -> dict:
     phases = {
         name: {
             "total_ms": round(1e3 * rec["total_s"], 2),
+            "self_ms": round(1e3 * exclusive[name], 2),
             "calls": rec["calls"],
             "share_pct": (
-                _share_pct(rec["total_s"], engine_total)
+                _share_pct(exclusive[name], engine_total)
                 if engine_total
                 else 0.0
             ),
@@ -409,8 +464,11 @@ def format_phase_breakdown(breakdown: dict) -> str:
     phases = breakdown["phases"]
     for name in sorted(phases, key=lambda n: -phases[n]["total_ms"]):
         rec = phases[name]
+        # records written before the exclusive-time fix lack self_ms
+        self_ms = rec.get("self_ms", rec["total_ms"])
         lines.append(
-            f"  {name:<22} {rec['total_ms']:>9.2f} ms  "
+            f"  {name:<22} {self_ms:>9.2f} ms self  "
+            f"({rec['total_ms']:>9.2f} ms incl)  "
             f"{rec['calls']:>7} calls  {rec['share_pct']:>5.1f}%"
         )
     return "\n".join(lines)
@@ -423,9 +481,11 @@ def measure() -> dict:
         legacy = rates["legacy"]
         results["scenarios"][name] = {
             "cycles_per_sec_fast": round(rates["fast"], 1),
+            "cycles_per_sec_kernels": round(rates["kernels"], 1),
             "cycles_per_sec_legacy": round(legacy, 1),
             "cycles_per_sec_vectorized": round(rates["vectorized"], 1),
             "speedup": round(rates["fast"] / legacy, 3),
+            "speedup_kernels": round(rates["kernels"] / legacy, 3),
             "speedup_vectorized": round(rates["vectorized"] / legacy, 3),
         }
     results["detector_us_per_pass_fast"] = round(
@@ -452,6 +512,13 @@ def measure() -> dict:
         "required_speedup": 5.0,
         "speedup": results["scenarios"][ACCEPTANCE_SCENARIO][
             "speedup_vectorized"
+        ],
+    }
+    results["acceptance_kernels"] = {
+        "scenario": ACCEPTANCE_SCENARIO,
+        "required_speedup": 10.0,
+        "speedup": results["scenarios"][ACCEPTANCE_SCENARIO][
+            "speedup_kernels"
         ],
     }
     results["acceptance_detector"] = {
@@ -490,6 +557,15 @@ def check(baseline: dict, fresh: dict, tolerance: float = 0.20) -> list[str]:
                     f"{now['cycles_per_sec_vectorized']:.0f} cycles/sec "
                     f"(baseline {base_vec:.0f}, floor {floor:.0f})"
                 )
+        base_kern = base.get("cycles_per_sec_kernels")
+        if base_kern is not None:
+            floor = base_kern * (1.0 - tolerance)
+            if now["cycles_per_sec_kernels"] < floor:
+                problems.append(
+                    f"{name}: kernel engine regressed to "
+                    f"{now['cycles_per_sec_kernels']:.0f} cycles/sec "
+                    f"(baseline {base_kern:.0f}, floor {floor:.0f})"
+                )
     base_census = baseline.get("detector_census")
     if base_census is not None:
         now_census = fresh["detector_census"]
@@ -517,6 +593,13 @@ def check(baseline: dict, fresh: dict, tolerance: float = 0.20) -> list[str]:
         problems.append(
             f"vectorized speedup {got:.2f}x below required {req:.1f}x "
             f"on {fresh['acceptance_vectorized']['scenario']}"
+        )
+    req = baseline.get("acceptance_kernels", {}).get("required_speedup", 10.0)
+    got = fresh.get("acceptance_kernels", {}).get("speedup")
+    if got is not None and got < req:
+        problems.append(
+            f"kernel speedup {got:.2f}x below required {req:.1f}x "
+            f"on {fresh['acceptance_kernels']['scenario']}"
         )
     req = baseline.get("acceptance_detector", {}).get("required_speedup", 2.0)
     got = fresh.get("acceptance_detector", {}).get("speedup")
@@ -559,9 +642,9 @@ def main() -> int:
         "--ablation",
         action="store_true",
         help="re-measure only the cumulative optimization ablation "
-        "(legacy / +fast-path / +detector-caching / +vectorized) on the "
-        "acceptance scenario, print the table and merge the record into "
-        "the existing baseline",
+        "(legacy / +fast-path / +detector-caching / +vectorized / "
+        "+kernels) on the acceptance scenario, print the table and merge "
+        "the record into the existing baseline",
     )
     parser.add_argument(
         "--out", type=Path, default=BASELINE_PATH, help="baseline path"
@@ -606,9 +689,11 @@ def main() -> int:
         print(
             f"{name}: legacy={row['cycles_per_sec_legacy']:.0f} "
             f"fast={row['cycles_per_sec_fast']:.0f} "
-            f"vec={row['cycles_per_sec_vectorized']:.0f} cycles/sec "
+            f"vec={row['cycles_per_sec_vectorized']:.0f} "
+            f"kern={row['cycles_per_sec_kernels']:.0f} cycles/sec "
             f"(fast {row['speedup']:.2f}x, "
-            f"vec {row['speedup_vectorized']:.2f}x)"
+            f"vec {row['speedup_vectorized']:.2f}x, "
+            f"kern {row['speedup_kernels']:.2f}x)"
         )
     print(format_ablation(fresh["ablation"]))
     print(
@@ -652,7 +737,12 @@ def main() -> int:
     args.out.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
     failed = False
-    for key in ("acceptance", "acceptance_vectorized", "acceptance_detector"):
+    for key in (
+        "acceptance",
+        "acceptance_vectorized",
+        "acceptance_kernels",
+        "acceptance_detector",
+    ):
         if fresh[key]["speedup"] < fresh[key]["required_speedup"]:
             print(
                 f"WARNING: {fresh[key]['scenario']} speedup below "

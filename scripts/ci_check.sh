@@ -7,20 +7,21 @@
 # 2. runs the `slow`-marked tests in a separate pass;
 # 3. regenerates the benchmark numbers in quick mode and fails when
 #    cycles/sec regressed >20% against the committed BENCH_core.json
-#    (or when the fast-path speedup fell below the 2x acceptance bar);
+#    (or when the fast-path speedup fell below its 2x acceptance bar, or
+#    the kernel engine below its 10x bar on the saturated scenario);
 #    on failure the per-phase time breakdown is printed alongside the
 #    committed one so the regressing phase is visible at a glance;
 # 4. runs the observability smoke gate: a pinned traced scenario whose
 #    exported Chrome/JSONL traces must parse with the expected span names,
 #    plus the <=10% overhead bound for obs_level=1 (scripts/obs_smoke.py);
-# 5. runs the vectorized-engine equivalence gate: the A/B/C bit-identity
-#    suite (legacy / fast path / vectorized), the SoA mirror property
-#    tests and the golden-trace digests, all of which the vectorized
-#    engine must reproduce verbatim;
+# 5. runs the engine equivalence gate: the A/B/C/D bit-identity suite
+#    (legacy / fast path / vectorized / kernels), the SoA mirror property
+#    and array-projection tests and the golden-trace digests, all of which
+#    every optimized engine tier must reproduce verbatim;
 # 6. runs the differential fuzz smoke sweep: 25 seeded random configs
-#    cross-checked on the engine/vectorized/detector/CWG axes under a
-#    90 s budget (deterministic — a CI failure replays locally with the
-#    same command);
+#    cross-checked on the engine/vectorized/kernels/detector/CWG axes
+#    under a 90 s budget (deterministic — a CI failure replays locally
+#    with the same command);
 # 7. runs the campaign smoke gate: a 2-point campaign interrupted after one
 #    point, resumed, and checked bit-identical against a direct sweep with
 #    a consistent store manifest (scripts/campaign_smoke.py);
@@ -42,10 +43,11 @@ python scripts/bench_baseline.py --check
 echo "== observability smoke (trace schema + overhead gate) =="
 python scripts/obs_smoke.py
 
-echo "== vectorized engine equivalence (A/B/C bit-identity + SoA mirrors) =="
+echo "== engine equivalence (A/B/C/D bit-identity + SoA mirrors) =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
     tests/integration/test_fast_path_equivalence.py \
     tests/properties/test_soa_mirrors.py \
+    tests/network/test_soa_arrays.py \
     tests/golden
 
 echo "== differential fuzz smoke (see docs/TESTING.md) =="

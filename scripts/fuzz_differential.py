@@ -4,6 +4,8 @@
 Draws seeded random configurations and verifies, for each one, that
 
 * the engine fast path is bit-identical to the legacy engine,
+* the vectorized SoA core is bit-identical to the legacy engine,
+* the batched kernel engine is bit-identical to the vectorized core,
 * dirty-region cached detection is bit-identical to uncached detection,
 * the incrementally-maintained CWG equals a from-scratch rebuild at every
   detection instant.

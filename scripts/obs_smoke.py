@@ -17,7 +17,13 @@ Two checks, both deterministic apart from wall-clock noise:
    than 10% in cycles/sec.  This is the bound that keeps ``--obs-level 1``
    safe to leave on for real sweeps.
 
-Exit status 0 = both checks pass.
+3. **Phase-share sanity** — recomputes the benchmark's ``phase_breakdown``
+   record and fails if the per-phase shares sum above 100%.  The profiler
+   nests the detector's ``detect/*`` accounting inside ``engine/detect``,
+   so a naive (inclusive) share split double-counts that time — this check
+   pins the exclusive-self-time accounting that keeps the rollup honest.
+
+Exit status 0 = all checks pass.
 """
 
 from __future__ import annotations
@@ -161,6 +167,39 @@ def check_overhead(
     return []
 
 
+def check_phase_shares(verbose: bool = True) -> list[str]:
+    """Gate: the benchmark phase rollup's shares must sum to at most 100%.
+
+    The detector books its region pipeline under ``detect/*`` while running
+    inside the engine's ``engine/detect`` timer; the breakdown must report
+    exclusive self-times or the shares double-count that nesting (a rollup
+    that "sums to 122%" reads as free speedup hiding somewhere).
+    """
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from bench_baseline import _phase_breakdown
+
+    breakdown = _phase_breakdown()
+    phases = breakdown["phases"]
+    total = sum(rec["share_pct"] for rec in phases.values())
+    if verbose:
+        print(
+            f"phase-share check: {len(phases)} phases, "
+            f"shares sum to {total:.1f}%"
+        )
+    # each share_pct row is rounded to 1 decimal, so the sum can honestly
+    # exceed 100 by up to 0.05 per row — anything beyond that is real
+    # double-counting
+    if total > 100.0 + 0.05 * len(phases):
+        return [
+            f"phase_breakdown shares sum to {total:.1f}% (> 100%): "
+            "nested phases are being double-counted instead of reported "
+            "as exclusive self-time"
+        ]
+    if not any(rec["share_pct"] for rec in phases.values()):
+        return ["phase_breakdown recorded no nonzero phase shares"]
+    return []
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -172,6 +211,7 @@ def main() -> int:
     problems = check_trace()
     if not args.skip_overhead:
         problems += check_overhead()
+    problems += check_phase_shares()
     for p in problems:
         print(f"OBS SMOKE FAILURE: {p}")
     if not problems:

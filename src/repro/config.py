@@ -98,6 +98,16 @@ class SimulationConfig:
     #: (same seed -> same RunResult and deadlock-event stream); off selects
     #: the object-model engines for A/B/C tests.
     engine_vectorized: bool = False
+    #: NumPy array-kernel engine tier
+    #: (:class:`repro.network.kernels.KernelEngine`): batch head-of-line
+    #: eligibility, free-slot availability and phase order construction as
+    #: masked array ops over the SoA mirrors, with a word-buffered traffic
+    #: stream for the generate phase.  Builds on the vectorized engine's
+    #: SoA state, so it requires ``engine_vectorized=True`` (and numpy).
+    #: Bit-identical to the other three engines (same seed -> same
+    #: RunResult and deadlock-event stream); off selects the vectorized
+    #: engine for A/B/C/D tests.
+    engine_kernels: bool = False
     #: observability (:mod:`repro.obs`): 0 = off (the default — instrumented
     #: call sites cost one attribute lookup against a no-op singleton),
     #: 1 = metrics registry + per-phase profiler, 2 = level 1 plus the
@@ -159,6 +169,20 @@ class SimulationConfig:
                 "engine_vectorized builds on the fast path's activity "
                 "flags; it requires engine_fast_path=True"
             )
+        if self.engine_kernels:
+            if not self.engine_vectorized:
+                raise ConfigurationError(
+                    "engine_kernels batches over the vectorized engine's "
+                    "SoA arrays; it requires engine_vectorized=True"
+                )
+            try:
+                import numpy  # noqa: F401
+            except ImportError as exc:
+                raise ConfigurationError(
+                    "engine_kernels requires numpy (declared in "
+                    "pyproject.toml as numpy>=1.23); install it or drop "
+                    "the engine_kernels flag"
+                ) from exc
         if self.mesh and not self.bidirectional:
             raise ConfigurationError("meshes are always bidirectional")
         if self.mesh and self.failed_links:

@@ -725,7 +725,13 @@ class DeadlockDetector:
         owned = len(tracker.owner)
         if len(dirty) * 8 > owned:
             return None
-        successors = tracker.successors
+        # the tracker's successors() inlined: one dict-get cascade per
+        # vertex, and each vertex's successor list is computed exactly once
+        # per walk (cached in ``succ_of``) — the reverse-reachability check
+        # and the knot-subgraph build below reuse it instead of re-querying
+        next_in_chain = tracker.next_in_chain
+        owner = tracker.owner
+        requests = tracker.requests
         in_known: set = set()
         for knot in surviving:
             in_known.update(knot)
@@ -738,10 +744,20 @@ class DeadlockDetector:
             # forward closure walk, aborting on contact with known state
             visited = {v}
             stack = [v]
+            succ_of: dict = {}
             aborted = False
             while stack:
                 u = stack.pop()
-                for w in successors(u):
+                nxt = next_in_chain.get(u)
+                if nxt is not None:
+                    succs = (nxt,)
+                else:
+                    m = owner.get(u)
+                    succs = (
+                        () if m is None else (requests.get(m) or ())
+                    )
+                succ_of[u] = succs
+                for w in succs:
                     if w in visited:
                         continue
                     if w in in_known or w in cleared:
@@ -758,15 +774,16 @@ class DeadlockDetector:
                 cleared.add(v)
                 continue
             # visited == reach(v); knot iff strongly connected (+ self-loop
-            # for singletons)
+            # for singletons).  The completed walk popped every visited
+            # vertex, so ``succ_of`` covers the closure exactly.
             if len(visited) == 1:
-                if v not in successors(v):
+                if v not in succ_of[v]:
                     cleared.add(v)
                     continue
             else:
                 preds: dict = {u: [] for u in visited}
-                for u in visited:
-                    for w in successors(u):
+                for u, succs in succ_of.items():
+                    for w in succs:
                         preds[w].append(u)
                 seen = {v}
                 rstack = [v]
@@ -780,10 +797,10 @@ class DeadlockDetector:
                     cleared.add(v)
                     continue
             knot = frozenset(visited)
-            sub = {
-                u: [w for w in successors(u) if w in knot] for u in knot
-            }
-            found[knot] = self._knot_density(sub)
+            # succ_of IS the knot's internal adjacency: the walk closed
+            # without abort, so every successor of a visited vertex is
+            # visited.  Density analysis only reads it, so no copy.
+            found[knot] = self._knot_density(succ_of)
             in_known.update(knot)
         return found
 
@@ -818,7 +835,12 @@ class DeadlockDetector:
           ``E - V + 1`` — the exact count of *independent* cycles and a
           lower bound on simple cycles in a strongly connected graph — is
           reported with the saturated flag set.
-        * Everything else gets the exact bounded Johnson enumeration.
+        * Everything else gets the exact bounded Johnson enumeration, run
+          on the chain-contracted multigraph: knots are mostly unbranched
+          ownership chains, so contraction shrinks the enumeration graph
+          several-fold with provably identical bounded counts (cycle
+          counts are enumeration-order independent, the same fact that
+          lets :meth:`_analyze_region` merge per-region censuses).
         """
         vertices = len(sub)
         arcs = sum(len(v) for v in sub.values())
@@ -826,7 +848,9 @@ class DeadlockDetector:
             return CycleCount(1, False)
         if vertices > self.knot_size_enumeration_limit:
             return CycleCount(max(2, arcs - vertices + 1), True)
-        return count_simple_cycles(sub, limit=self.knot_density_cap)
+        return count_cycles_contracted(
+            contract_graph(sub), limit=self.knot_density_cap
+        )
 
     @staticmethod
     def _dependents(
@@ -858,18 +882,20 @@ class DeadlockDetector:
         for mid, targets in g.requests.items():
             if mid in deadlock_set:
                 continue
-            owners = [owner.get(t) for t in targets]
-            if any(o is None for o in owners):
-                continue
-            outstanding = 0
-            for o in owners:
-                if o in deadlock_set:
-                    continue
-                outstanding += 1
-                waiters_on.setdefault(o, []).append(mid)
-            need[mid] = outstanding
-            if outstanding == 0:
-                ready.append(mid)
+            outside: list[int] = []
+            for t in targets:
+                o = owner.get(t)
+                if o is None:
+                    break
+                if o not in deadlock_set:
+                    outside.append(o)
+            else:
+                need[mid] = len(outside)
+                if outside:
+                    for o in outside:
+                        waiters_on.setdefault(o, []).append(mid)
+                else:
+                    ready.append(mid)
         while ready:
             m = ready.pop()
             if m in dependents:

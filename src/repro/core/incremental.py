@@ -85,6 +85,11 @@ class IncrementalCWG(WaitGraphQueries):
         #: Bounded by the network's resource universe (vertices are reused
         #: across messages), so an unconsumed set cannot grow without limit.
         self.dirty: set[Vertex] = set()
+        #: running dashed-arc total (sum of request-target list lengths),
+        #: maintained by the block/unblock/acquire/done hooks so
+        #: :attr:`num_arcs` is O(1) instead of re-summing every request
+        #: list on each detection pass
+        self._dashed_arcs = 0
         #: counters for introspection / benchmarks (see :meth:`stats`)
         self.events = 0
         self.dirty_consumed = 0  #: dirty vertices handed to the detector
@@ -94,6 +99,17 @@ class IncrementalCWG(WaitGraphQueries):
         faults = active_faults()
         self._fault_skip_dirty_acquire = "skip-dirty-acquire" in faults
         self._fault_skip_dirty_block = "skip-dirty-block" in faults
+
+    @property
+    def num_arcs(self) -> int:
+        """Arc count from maintained totals (O(1), queried every pass).
+
+        Solid arcs are chain lengths minus one each — every owned vertex
+        except each chain's head sources one — so the running dict sizes
+        give the total without touching a single chain; dashed arcs come
+        from the counter the block/unblock hooks maintain.
+        """
+        return len(self.owner) - len(self.chains) + self._dashed_arcs
 
     def consume_dirty(self) -> set[Vertex]:
         """Hand the accumulated dirty-vertex set over and start a fresh one."""
@@ -142,7 +158,9 @@ class IncrementalCWG(WaitGraphQueries):
         if not self._fault_skip_dirty_acquire:
             self.dirty.add(vertex)
         # acquiring anything ends the current blocked state
-        self.requests.pop(message, None)
+        prev = self.requests.pop(message, None)
+        if prev is not None:
+            self._dashed_arcs -= len(prev)
 
     def on_release(self, message: int, vertex: Vertex) -> None:
         self.events += 1
@@ -169,15 +187,19 @@ class IncrementalCWG(WaitGraphQueries):
             # of the network's resource state
             return
         targets = list(targets)
-        if self.requests.get(message) == targets:
+        prev = self.requests.get(message)
+        if prev == targets:
             return  # re-requesting the same set: the graph did not change
         self.requests[message] = targets
+        self._dashed_arcs += len(targets) - (0 if prev is None else len(prev))
         if not self._fault_skip_dirty_block:
             self.dirty.add(chain[-1])
 
     def on_unblock(self, message: int) -> None:
         self.events += 1
-        if self.requests.pop(message, None) is not None:
+        prev = self.requests.pop(message, None)
+        if prev is not None:
+            self._dashed_arcs -= len(prev)
             self.dirty.add(self.chains[message][-1])
 
     def on_done(self, message: int) -> None:
@@ -188,7 +210,9 @@ class IncrementalCWG(WaitGraphQueries):
                 del self.owner[vertex]
                 del self.next_in_chain[vertex]
             self.dirty.update(chain)
-        self.requests.pop(message, None)
+        prev = self.requests.pop(message, None)
+        if prev is not None:
+            self._dashed_arcs -= len(prev)
 
     def successors(self, vertex: Vertex):
         """Out-neighbours of ``vertex``: its solid arc or its dashed arcs.

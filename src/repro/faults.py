@@ -29,6 +29,14 @@ Known fault names:
     ``stalled`` flag when a waited-on resource frees — stalled messages
     sleep forever on the engine fast path, diverging from the legacy path.
 
+``skip-immobile-clear``
+    :class:`~repro.network.kernels.KernelEngine` never lowers its
+    maintained ``_all_immobile`` move fast-path flag — once a cycle
+    verifies every active message immobile, later wake-ups (resource
+    acquisitions, victim removal) are ignored and the kernel engine keeps
+    skipping the move loop, freezing the network while the vectorized
+    engine drains it.
+
 ``crash-point``
     A campaign worker (:mod:`repro.campaign.runner`) raises before running
     its simulation — every attempt, so the point exhausts its retries and
@@ -70,6 +78,7 @@ KNOWN_FAULTS = frozenset(
         "skip-dirty-acquire",
         "skip-dirty-block",
         "skip-wake",
+        "skip-immobile-clear",
         "crash-point",
         "flaky-point",
         "hang-point",

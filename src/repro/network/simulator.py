@@ -110,12 +110,15 @@ class NetworkSimulator:
     """
 
     def __new__(cls, config: SimulationConfig = None, trace=None):
-        if cls is NetworkSimulator and getattr(
-            config, "engine_vectorized", False
-        ):
-            from repro.network.vectorized import VectorizedEngine
+        if cls is NetworkSimulator:
+            if getattr(config, "engine_kernels", False):
+                from repro.network.kernels import KernelEngine
 
-            return object.__new__(VectorizedEngine)
+                return object.__new__(KernelEngine)
+            if getattr(config, "engine_vectorized", False):
+                from repro.network.vectorized import VectorizedEngine
+
+                return object.__new__(VectorizedEngine)
         return object.__new__(cls)
 
     def __init__(self, config: SimulationConfig, trace=None) -> None:

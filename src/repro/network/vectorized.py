@@ -138,21 +138,24 @@ class VectorizedEngine(NetworkSimulator):
         power-of-two boundary instead of recomputed.
         """
         n = len(x)
-        if n < 2:
-            return
-        getrandbits = self.rng.getrandbits
+        hi = n
         k = n.bit_length()
-        lo = 1 << (k - 1)
-        m = n  # == i + 1 throughout
-        for i in range(n - 1, 0, -1):
-            if m < lo:
-                k -= 1
-                lo >>= 1
-            r = getrandbits(k)
-            while r >= m:
+        getrandbits = self.rng.getrandbits
+        # k == m.bit_length() for every threshold m in n..2, so the descent
+        # runs per constant-k block with range supplying the thresholds —
+        # no per-draw boundary check or decrement (m == i + 1 throughout)
+        while hi > 1:
+            # hi > 1 forces k >= 2, so lo - 1 >= 1 and the range never
+            # descends past the final threshold m == 2
+            lo = 1 << (k - 1)
+            for m in range(hi, lo - 1, -1):
                 r = getrandbits(k)
-            x[i], x[r] = x[r], x[i]
-            m -= 1
+                while r >= m:
+                    r = getrandbits(k)
+                i = m - 1
+                x[i], x[r] = x[r], x[i]
+            hi = lo - 1
+            k -= 1
 
     # -- fast-path bookkeeping overrides (flag mirrors) -------------------------------
     def _begin_wait(self, msg: Message, keys: Optional[tuple]) -> None:

@@ -1,12 +1,16 @@
 """Deterministic differential fuzzing of the simulator's optimized paths.
 
-The repo carries four pairs of independently-implemented equivalents:
+The repo carries five pairs of independently-implemented equivalents:
 
 * **engine** — the activity-tracked fast path vs the legacy full-rescan
   engine (``engine_fast_path``),
 * **vectorized** — the structure-of-arrays vectorized core vs the legacy
   engine (``engine_vectorized``; legacy is the ground truth, so this axis
   is independent of the fast path's own bookkeeping),
+* **kernels** — the batched array-kernel engine vs the vectorized core
+  (``engine_kernels``; the vectorized engine is the reference here so the
+  axis isolates exactly what the kernel tier adds — its RNG replay,
+  maintained quiescence flags, and batch generate/allocate/move paths),
 * **detector** — dirty-region cached detection vs the per-pass global
   analysis (``detector_caching``),
 * **cwg** — the event-maintained :class:`IncrementalCWG` vs a from-scratch
@@ -16,7 +20,7 @@ Each pair is documented bit-identical; the hand-written A/B/C suites cover
 a fixed case matrix.  This module covers the space *between* the hand-picked
 cases: :func:`random_config` draws a seeded random configuration across
 topology / routing / VC / buffer / traffic / detection / recovery space,
-:func:`check_config` cross-checks all three axes on it, and
+:func:`check_config` cross-checks all the axes on it, and
 :func:`shrink_config` greedily minimizes any mismatching configuration to
 a smallest one that still reproduces, suitable for dumping as a replayable
 JSON artifact (:func:`dump_artifact` / :func:`load_artifact`).
@@ -53,15 +57,15 @@ __all__ = [
     "load_artifact",
 ]
 
-#: the four differential axes, in checking order
-AXES = ("engine", "vectorized", "detector", "cwg")
+#: the five differential axes, in checking order
+AXES = ("engine", "vectorized", "kernels", "detector", "cwg")
 
 
 @dataclass(frozen=True)
 class FuzzMismatch:
     """One confirmed divergence between paired implementations."""
 
-    axis: str  #: "engine" | "vectorized" | "detector" | "cwg"
+    axis: str  #: "engine" | "vectorized" | "kernels" | "detector" | "cwg"
     config: SimulationConfig  #: a configuration reproducing the divergence
     detail: str  #: human-readable description of the first difference
 
@@ -234,6 +238,42 @@ def compare_vectorized(config: SimulationConfig) -> Optional[str]:
     )
 
 
+def compare_kernels(config: SimulationConfig) -> Optional[str]:
+    """Batched kernel engine vs the vectorized core; None when bit-identical.
+
+    The vectorized engine — not legacy — is the reference: the kernel tier
+    stacks on top of the SoA core, and comparing one tier down isolates
+    exactly what the kernels change (batch generate / allocate / move,
+    inline RNG replay, maintained quiescence flags) from everything the
+    vectorized axis already covers.  Legacy coverage is transitive:
+    vectorized ≡ legacy is checked by :func:`compare_vectorized`.
+    """
+    outcomes = {}
+    for kernels in (True, False):
+        sim = NetworkSimulator(
+            config.replace(
+                engine_fast_path=True,
+                engine_vectorized=True,
+                engine_kernels=kernels,
+            )
+        )
+        result = sim.run()
+        outcomes[kernels] = (
+            _result_fingerprint(result),
+            _event_fingerprint(sim.detector.events),
+        )
+    if outcomes[True] == outcomes[False]:
+        return None
+    kern_res, kern_ev = outcomes[True]
+    vec_res, vec_ev = outcomes[False]
+    if kern_res != vec_res:
+        return f"kernel engine diverges: {_first_diff(kern_res, vec_res)}"
+    return (
+        f"kernel engine deadlock events diverge: "
+        f"{len(kern_ev)} kernels vs {len(vec_ev)} vectorized events"
+    )
+
+
 def compare_detector(config: SimulationConfig) -> Optional[str]:
     """Cached vs uncached detector (incremental maintenance forced)."""
     base = config.replace(cwg_maintenance="incremental")
@@ -278,6 +318,7 @@ def compare_cwg(config: SimulationConfig) -> Optional[str]:
 _AXIS_CHECKS: dict[str, Callable[[SimulationConfig], Optional[str]]] = {
     "engine": compare_engine,
     "vectorized": compare_vectorized,
+    "kernels": compare_kernels,
     "detector": compare_detector,
     "cwg": compare_cwg,
 }

@@ -165,6 +165,29 @@ def test_golden_trace_vectorized_engine(name):
 
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace_kernel_engine(name):
+    """The kernel engine reproduces the committed digests verbatim.
+
+    Same scenarios, same goldens, no separate blessing: the batched
+    kernels are required to be bit-identical, so they must hash to the
+    exact digests the scalar engine committed.
+    """
+    goldens = load_goldens()
+    if os.environ.get(BLESS_ENV) == "1" or name not in goldens:
+        pytest.skip("no committed golden (blessing runs the default engine)")
+    cfg = SCENARIOS[name].replace(
+        engine_vectorized=True, engine_kernels=True
+    )
+    sim = NetworkSimulator(cfg)
+    result = sim.run()
+    digest = digest_of(canonical_trace(sim, result))
+    assert digest == goldens[name]["digest"], (
+        f"kernel engine diverged from golden trace {name!r}: "
+        f"{digest[:16]}… != committed {goldens[name]['digest'][:16]}…"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_golden_scenarios_are_deterministic(name):
     """The digest is reproducible within a process (prereq for golden use)."""
     assert run_scenario(name)[0] == run_scenario(name)[0]

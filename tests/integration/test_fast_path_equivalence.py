@@ -1,4 +1,4 @@
-"""A/B/C equivalence: all three engine cores are bit-identical.
+"""A/B/C/D equivalence: all four engine cores are bit-identical.
 
 ``engine_fast_path`` restructures the engine's hot loops around
 incrementally-maintained activity state (routable flags, a stalled-message
@@ -59,6 +59,9 @@ ENGINES = {
     "legacy": dict(engine_fast_path=False, engine_vectorized=False),
     "fast": dict(engine_fast_path=True, engine_vectorized=False),
     "vectorized": dict(engine_fast_path=True, engine_vectorized=True),
+    "kernels": dict(
+        engine_fast_path=True, engine_vectorized=True, engine_kernels=True
+    ),
 }
 
 
@@ -78,7 +81,7 @@ def _assert_identical(runs):
     legacy_sim, legacy_result = runs["legacy"]
     legacy_fields = _result_fields(legacy_result)
     legacy_events = _event_keys(legacy_sim)
-    for name in ("fast", "vectorized"):
+    for name in ("fast", "vectorized", "kernels"):
         sim, result = runs[name]
         assert _result_fields(result) == legacy_fields, name
         assert _event_keys(sim) == legacy_events, name
@@ -223,5 +226,28 @@ def test_vectorized_requires_fast_path():
     from repro.errors import ConfigurationError
 
     cfg = tiny_default(engine_vectorized=True, engine_fast_path=False)
+    with pytest.raises(ConfigurationError):
+        NetworkSimulator(cfg)
+
+
+def test_kernels_is_opt_in():
+    """The kernel tier is flag-gated and dispatched transparently."""
+    from repro.network.kernels import KernelEngine
+    from repro.network.vectorized import VectorizedEngine
+
+    cfg = tiny_default()
+    assert cfg.engine_kernels is False
+
+    kern = NetworkSimulator(
+        cfg.replace(engine_vectorized=True, engine_kernels=True)
+    )
+    assert type(kern) is KernelEngine
+    assert isinstance(kern, VectorizedEngine)
+
+
+def test_kernels_requires_vectorized():
+    from repro.errors import ConfigurationError
+
+    cfg = tiny_default(engine_kernels=True, engine_vectorized=False)
     with pytest.raises(ConfigurationError):
         NetworkSimulator(cfg)

@@ -58,6 +58,75 @@ def test_cache_key_distinguishes_dateline_sources():
     assert r.cache_key(a, 0) != r.cache_key(b, 0)
 
 
+def test_candidate_table_wraparound_matches_fresh():
+    """A warm CandidateTable returns exactly what a fresh relation call
+    would, for every (source, destination) pair of a torus — including the
+    pairs whose minimal route crosses the wrap-around link, where a lossy
+    cache key would collide positions on opposite sides of the dateline."""
+    from repro.network.channels import ChannelPool
+    from repro.network.message import Message
+    from repro.network.topology import KAryNCube
+    from repro.routing.batch import CandidateTable
+    from repro.routing.dor import DimensionOrderRouting
+
+    topo = KAryNCube(4, 2)
+    pool = ChannelPool(topo, 1, 2)
+    r = DimensionOrderRouting()
+    table = CandidateTable(r, topo, pool)
+    pairs = [
+        (src, dest)
+        for src in range(topo.num_nodes)
+        for dest in range(topo.num_nodes)
+        if src != dest
+    ]
+    # two passes: the first builds entries, the second reads every pair
+    # back from the fully-warm table, so any key collision between two
+    # pairs surfaces as the wrong memoized entry
+    for _ in range(2):
+        for i, (src, dest) in enumerate(pairs):
+            msg = Message(i, src, dest, 4, 0)
+            cached, idxs = table.lookup(msg, src)
+            fresh = r.candidates(msg, src, topo, pool)
+            assert idxs == tuple(vc.index for vc in fresh), (
+                f"candidate table diverges from fresh DOR candidates at "
+                f"node {src} -> dest {dest}"
+            )
+            assert cached == fresh
+    assert len(table) > 0
+
+
+def test_candidate_table_dateline_wrap_distinct_entries():
+    """Dateline VC classes split on wrap-around crossings: at the same
+    node, with the same destination, a message that crossed the wrap and
+    one that did not must hit *different* table entries with different
+    candidate sets — the cache key has to carry the source."""
+    from repro.network.channels import ChannelPool
+    from repro.network.message import Message
+    from repro.network.topology import KAryNCube
+    from repro.routing.batch import CandidateTable
+    from repro.routing.dateline import DatelineDOR
+
+    topo = KAryNCube(8, 1)
+    pool = ChannelPool(topo, 2, 2)
+    r = DatelineDOR()
+    table = CandidateTable(r, topo, pool)
+    # both head at node 0 with dest 1; `wrapped` entered the ring at 6 and
+    # crossed the 7 -> 0 dateline to get here, `local` started at 0
+    wrapped = Message(0, 6, 1, 4, 0)
+    local = Message(1, 0, 1, 4, 0)
+    _, idx_wrapped = table.lookup(wrapped, 0)
+    _, idx_local = table.lookup(local, 0)
+    assert len(table) == 2, "wrap/non-wrap positions collided on one key"
+    assert idx_wrapped != idx_local, (
+        "dateline classes lost: wrapped and local messages memoized the "
+        "same candidate VCs"
+    )
+    fresh_wrapped = r.candidates(wrapped, 0, topo, pool)
+    fresh_local = r.candidates(local, 0, topo, pool)
+    assert idx_wrapped == tuple(vc.index for vc in fresh_wrapped)
+    assert idx_local == tuple(vc.index for vc in fresh_local)
+
+
 def test_misrouting_key_includes_progress():
     from repro.network.channels import ChannelPool
     from repro.network.message import Message

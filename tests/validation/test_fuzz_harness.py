@@ -49,6 +49,15 @@ HOTSPOT = SATURATED.replace(
     buffer_depth=1, load=0.6, traffic="hot-spot", detection_interval=5
 )
 
+#: a unidirectional ring wedges *globally* (every in-flight message blocked
+#: at once), which is what raises the kernel engine's maintained
+#: all-immobile flag — the torus scenarios above always keep some traffic
+#: mobile, so they never exercise that fast path (the kernels-axis teeth
+#: scenario)
+RING = SATURATED.replace(
+    k=4, n=1, bidirectional=False, buffer_depth=1, message_length=4
+)
+
 
 # -- config generation ---------------------------------------------------------------
 def test_random_config_deterministic():
@@ -121,6 +130,7 @@ def test_unknown_fault_name_rejected(monkeypatch):
 def test_known_faults_registry():
     assert KNOWN_FAULTS == {
         "skip-dirty-acquire", "skip-dirty-block", "skip-wake",
+        "skip-immobile-clear",
         "crash-point", "flaky-point", "hang-point",
     }
 
@@ -148,8 +158,8 @@ def test_artifact_roundtrip(tmp_path):
     assert dataclasses.asdict(config) == dataclasses.asdict(SATURATED)
 
 
-def test_axes_are_the_documented_four():
-    assert AXES == ("engine", "vectorized", "detector", "cwg")
+def test_axes_are_the_documented_five():
+    assert AXES == ("engine", "vectorized", "kernels", "detector", "cwg")
 
 
 def test_skip_wake_is_caught_by_vectorized_axis(monkeypatch):
@@ -161,3 +171,34 @@ def test_skip_wake_is_caught_by_vectorized_axis(monkeypatch):
         "skip-wake fault was not detected by the vectorized axis"
     )
     assert mismatches[0].axis == "vectorized"
+
+
+def test_skip_immobile_clear_is_caught_by_kernels_axis(monkeypatch):
+    """A kernel engine whose all-immobile flag lies stays frozen forever.
+
+    The fault leaves ``KernelEngine._all_immobile`` raised after the
+    wake-up events that should lower it, so once the ring wedges globally
+    the faulty engine never moves another flit while the vectorized
+    reference drains the recovery — the kernels axis must report that
+    divergence.
+    """
+    monkeypatch.setenv(ENV_VAR, "skip-immobile-clear")
+    mismatches = check_config(RING, axes=("kernels",))
+    assert mismatches, (
+        "skip-immobile-clear fault was not detected: the kernels axis "
+        "has no teeth"
+    )
+    assert mismatches[0].axis == "kernels"
+
+
+def test_skip_immobile_clear_does_not_trip_other_axes(monkeypatch):
+    """The fault lives only in the kernel tier, so the axes that never
+    construct a KernelEngine must stay clean — pinning that the kernels
+    axis is the *necessary* net for this class of bug, not a redundant
+    one."""
+    monkeypatch.setenv(ENV_VAR, "skip-immobile-clear")
+    mismatches = check_config(RING, axes=("engine", "vectorized"))
+    assert mismatches == [], (
+        "skip-immobile-clear leaked into non-kernel axes: "
+        f"{[m.axis for m in mismatches]}"
+    )
