@@ -22,10 +22,15 @@
 #    cross-checked on the engine/vectorized/kernels/detector/CWG axes
 #    under a 90 s budget (deterministic — a CI failure replays locally
 #    with the same command);
-# 7. runs the campaign smoke gate: a 2-point campaign interrupted after one
+# 7. runs the model-checking oracle smoke gate: every configuration class
+#    of the oracle grid enumerated to full closure, the knot detector
+#    cross-checked against reachability ground truth at every reachable
+#    state, closure sizes pinned against drift, and the fault-injection
+#    teeth battery proven to bite (scripts/oracle_smoke.py);
+# 8. runs the campaign smoke gate: a 2-point campaign interrupted after one
 #    point, resumed, and checked bit-identical against a direct sweep with
 #    a consistent store manifest (scripts/campaign_smoke.py);
-# 8. runs the documentation drift gate: every repro.* symbol named in
+# 9. runs the documentation drift gate: every repro.* symbol named in
 #    docs/API.md must resolve against the live package, and every relative
 #    markdown link in the repo must point at an existing file.
 set -euo pipefail
@@ -52,6 +57,9 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
 
 echo "== differential fuzz smoke (see docs/TESTING.md) =="
 python scripts/fuzz_differential.py --smoke --quiet
+
+echo "== model-checking oracle smoke (exhaustive detector verification) =="
+python scripts/oracle_smoke.py
 
 echo "== campaign smoke (interrupt / resume / bit-identical merge) =="
 python scripts/campaign_smoke.py

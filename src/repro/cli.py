@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro simulate --k 8 --n 2 --routing dor --vcs 1 --load 0.8
     python -m repro experiment FIG5 --scale bench [--csv out.csv] [--chart]
     python -m repro campaign run FIG5 --store runs/fig5 --scale bench
+    python -m repro oracle check [CASE ...] [--witness-dir DIR]
 
 ``simulate`` runs one configuration and prints the run summary plus the
 deadlock characterization.  ``experiment`` regenerates one of the paper's
@@ -17,6 +18,13 @@ retry/timeout fault tolerance, ``resume`` is the same invocation spelled
 to make intent explicit (completed points are always skipped), ``status``
 renders the store manifest, ``clean`` drops failed entries (or, with
 ``--all``, the whole store) so they run again.
+``oracle`` drives the exhaustive model checker
+(:mod:`repro.validation.oracle`): ``list`` prints the verified
+configuration classes, ``check`` enumerates each class to closure and
+cross-checks the knot detector at every reachable state, ``witness``
+writes the shortest replayable path into a true deadlock, ``replay``
+re-runs a witness artifact, and ``teeth`` proves armed bookkeeping faults
+are caught with concrete counterexamples.
 """
 
 from __future__ import annotations
@@ -121,6 +129,36 @@ def build_parser() -> argparse.ArgumentParser:
     cclean.add_argument("--store", required=True, metavar="DIR")
     cclean.add_argument("--all", action="store_true",
                         help="remove every artifact and the manifest")
+
+    orc = sub.add_parser(
+        "oracle", help="exhaustive model-checking oracle for the detector"
+    )
+    orc_sub = orc.add_subparsers(dest="oracle_command", required=True)
+    orc_sub.add_parser("list", help="print the verified configuration classes")
+    ocheck = orc_sub.add_parser(
+        "check", help="enumerate cases to closure and cross-check the detector"
+    )
+    ocheck.add_argument("cases", nargs="*", metavar="CASE",
+                        help="case names (default: the whole grid)")
+    ocheck.add_argument("--witness-dir", metavar="DIR",
+                        help="write a replayable witness per violation here")
+    owit = orc_sub.add_parser(
+        "witness", help="write the shortest path into a case's true deadlock"
+    )
+    owit.add_argument("case", metavar="CASE")
+    owit.add_argument("--out", required=True, metavar="PATH")
+    orep = orc_sub.add_parser("replay", help="re-run a witness artifact")
+    orep.add_argument("artifact", metavar="PATH")
+    orep.add_argument("--production", action="store_true",
+                      help="replay on the fast-path engine with incremental "
+                           "CWG maintenance and detector caching")
+    oteeth = orc_sub.add_parser(
+        "teeth", help="prove armed faults are caught with counterexamples"
+    )
+    oteeth.add_argument("case", nargs="?", default="ring-deadlock",
+                        metavar="CASE")
+    oteeth.add_argument("--witness-dir", metavar="DIR",
+                        help="write each fault's catching witness here")
     return parser
 
 
@@ -299,12 +337,87 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return _run_experiment(args)
 
 
+def _run_oracle(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.validation import oracle as orc
+
+    if args.oracle_command == "list":
+        for case in orc.ORACLE_GRID:
+            dl = case.expected_deadlocked_terminals
+            print(
+                f"{case.name}: {case.description}\n"
+                f"    {case.expected_states} states, "
+                f"{case.expected_terminals} terminals "
+                f"({dl} deadlocked)"
+            )
+        return 0
+    if args.oracle_command == "check":
+        names = args.cases or [c.name for c in orc.ORACLE_GRID]
+        failed = False
+        for name in names:
+            case = orc.get_case(name)
+            report = orc.check_case(case, log=print, keep_graph=True)
+            for violation in report.violations:
+                print(f"  {violation.kind} @ state {violation.state_index}: "
+                      f"{violation.detail}")
+                if args.witness_dir and violation.state_index >= 0:
+                    payload = orc.build_witness(
+                        report.graph, violation.state_index,
+                        kind=violation.kind, detail=violation.detail,
+                    )
+                    path = orc.dump_witness(
+                        payload,
+                        Path(args.witness_dir)
+                        / f"{name}-{violation.kind}-{violation.state_index}.json",
+                    )
+                    print(f"  witness written to {path}")
+            failed = failed or not report.ok
+        return 1 if failed else 0
+    if args.oracle_command == "witness":
+        payload = orc.make_deadlock_witness(orc.get_case(args.case))
+        path = orc.dump_witness(payload, args.out)
+        print(f"deadlock witness ({len(payload['steps'])} steps) "
+              f"written to {path}")
+        return 0
+    if args.oracle_command == "replay":
+        payload = orc.load_witness(args.artifact)
+        result = orc.replay_witness(payload, production=args.production)
+        engine = "production" if args.production else "oracle"
+        if result.ok:
+            print(f"replay OK on the {engine} engine: "
+                  f"{len(payload['steps'])} steps reproduced, final state "
+                  f"{result.final_digest}")
+            return 0
+        print(f"replay DIVERGED on the {engine} engine: {result.detail}")
+        return 1
+    # teeth
+    case = orc.get_case(args.case)
+    outcomes = orc.run_teeth(case)
+    missed = False
+    for out in outcomes:
+        status = "caught" if out.caught else "MISSED"
+        print(f"{out.fault}: {status}"
+              + (f" by the {out.witness_kind!r} witness "
+                 f"({out.divergence} divergence at step {out.diverged_at})"
+                 if out.caught else ""))
+        if out.caught and args.witness_dir:
+            path = orc.dump_witness(
+                out.witness, Path(args.witness_dir) / f"teeth-{out.fault}.json"
+            )
+            print(f"  witness written to {path}")
+        missed = missed or not out.caught
+    return 1 if missed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "simulate":
         return _run_simulate(args)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "oracle":
+        return _run_oracle(args)
     return _run_experiment(args)
 
 

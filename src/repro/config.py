@@ -54,6 +54,12 @@ class SimulationConfig:
     load: float = 0.5  #: normalized offered load (1.0 = capacity)
     hotspot_fraction: float = 0.1  #: only used by hot-spot traffic
     max_queued_per_node: Optional[int] = 64  #: source-queue cap (None = unbounded)
+    #: total-generation cap: the Bernoulli sources stop creating messages
+    #: once this many exist (None = unbounded).  Bounds the reachable state
+    #: space for the exhaustive model-checking oracle
+    #: (:mod:`repro.validation.oracle`); honoured identically by every
+    #: engine tier.
+    max_messages: Optional[int] = None
 
     # -- deadlock handling --------------------------------------------------------
     detection_interval: int = 50  #: cycles between detector invocations
@@ -142,6 +148,10 @@ class SimulationConfig:
             )
         if self.load < 0:
             raise ConfigurationError(f"load must be >= 0, got {self.load}")
+        if self.max_messages is not None and self.max_messages < 1:
+            raise ConfigurationError(
+                f"max_messages must be >= 1 or None, got {self.max_messages}"
+            )
         if self.detection_interval < 1:
             raise ConfigurationError(
                 f"detection_interval must be >= 1, got {self.detection_interval}"

@@ -262,10 +262,13 @@ class KernelEngine(VectorizedEngine):
             "skip-immobile-clear" in active_faults()
         )
         gen = self.generator
-        #: the batch generate kernel replays MessageGenerator.tick exactly;
-        #: any other generator type (trace replay, subclasses) keeps the
-        #: scalar path
-        self._kgen_batch = type(gen) is MessageGenerator
+        #: the batch generate kernel replays the *unbounded*
+        #: MessageGenerator.tick exactly; any other generator type (trace
+        #: replay, subclasses) or a total-generation cap (max_messages,
+        #: which silences the sources mid-cycle) keeps the scalar path
+        self._kgen_batch = (
+            type(gen) is MessageGenerator and gen.max_messages is None
+        )
         #: paper-default traffic shape: uniform destinations draw exactly
         #: one ``_randbelow(n - 1)`` and fixed lengths draw nothing, so the
         #: generate kernel can read the destination word straight out of

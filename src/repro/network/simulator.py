@@ -162,6 +162,7 @@ class NetworkSimulator:
                 traffic_rng,
                 config.max_queued_per_node,
                 lengths=lengths,
+                max_messages=config.max_messages,
             )
         self.detector = DeadlockDetector(
             count_cycles=config.count_cycles,

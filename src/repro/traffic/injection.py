@@ -40,6 +40,7 @@ class MessageGenerator:
         rng: random.Random,
         max_queued_per_node: Optional[int] = None,
         lengths: Optional[LengthSampler] = None,
+        max_messages: Optional[int] = None,
     ) -> None:
         if load < 0:
             raise ConfigurationError(f"load must be >= 0, got {load}")
@@ -54,6 +55,11 @@ class MessageGenerator:
         self.lengths = lengths if lengths is not None else FixedLength(message_length)
         self.rng = rng
         self.max_queued_per_node = max_queued_per_node
+        # total-generation cap (None = unbounded): once this many messages
+        # exist the sources fall silent and consume no further RNG — the
+        # bounded-in-flight hook of the model-checking oracle
+        # (repro.validation.oracle)
+        self.max_messages = max_messages
         capacity = topology.capacity_flits_per_node_cycle
         self.flit_rate = load * capacity  # flits per node per cycle
         # Load is a *flit* rate: normalize by the mean message length so a
@@ -73,9 +79,14 @@ class MessageGenerator:
         p = self.message_probability
         if p <= 0.0:
             return out
+        total_cap = self.max_messages
+        if total_cap is not None and self.generated >= total_cap:
+            return out
         rng = self.rng
         cap = self.max_queued_per_node
         for node in range(self.topology.num_nodes):
+            if total_cap is not None and self.generated >= total_cap:
+                break  # sources fall silent mid-cycle: no further draws
             if rng.random() >= p:
                 continue
             if cap is not None and queue_lengths[node] >= cap:

@@ -1,6 +1,6 @@
-"""Correctness net: runtime invariant checking + differential fuzzing.
+"""Correctness net: invariants, differential fuzzing, model checking.
 
-Two layers defend the simulator's optimized paths (the activity-tracked
+Three layers defend the simulator's optimized paths (the activity-tracked
 engine fast path, dirty-region detector caching, incremental CWG
 maintenance) against silent drift from their ground-truth equivalents:
 
@@ -12,9 +12,17 @@ maintenance) against silent drift from their ground-truth equivalents:
 * :mod:`repro.validation.differential` — a deterministic fuzz harness that
   draws seeded random configurations and cross-checks fast vs legacy
   engine, cached vs uncached detector and incremental vs rebuilt CWG,
-  shrinking any mismatch to a minimal reproducing configuration.
+  shrinking any mismatch to a minimal reproducing configuration;
+* :mod:`repro.validation.oracle` (with
+  :mod:`repro.validation.statespace`) — an exhaustive model checker that
+  enumerates **every reachable state** of tiny generation-capped
+  configurations across **all nondeterministic branches**, derives
+  ground-truth deadlock labels by reachability, and cross-checks the knot
+  detector's verdict at every state — the layer that checks the engines
+  against *the definition* rather than against each other.
 
-``scripts/fuzz_differential.py`` is the command-line front end; see
+``scripts/fuzz_differential.py`` and ``scripts/oracle_smoke.py`` are the
+command-line front ends (plus ``python -m repro oracle``); see
 ``docs/TESTING.md`` for the test-pyramid overview.
 """
 
@@ -29,6 +37,30 @@ from repro.validation.differential import (
     shrink_config,
 )
 from repro.validation.invariants import InvariantChecker, InvariantViolation
+from repro.validation.oracle import (
+    ORACLE_GRID,
+    OracleCase,
+    OracleReport,
+    OracleViolation,
+    StateGraph,
+    analyze,
+    check_case,
+    cwg_doomed_messages,
+    explore,
+    get_case,
+    make_deadlock_witness,
+    make_wake_witness,
+    replay_witness,
+    run_teeth,
+)
+from repro.validation.statespace import (
+    ORACLE_PINS,
+    CanonicalState,
+    oracle_config,
+    restore_sim,
+    snapshot_state,
+    successors,
+)
 
 __all__ = [
     "InvariantChecker",
@@ -41,4 +73,24 @@ __all__ = [
     "shrink_config",
     "dump_artifact",
     "load_artifact",
+    "ORACLE_GRID",
+    "ORACLE_PINS",
+    "OracleCase",
+    "OracleReport",
+    "OracleViolation",
+    "StateGraph",
+    "CanonicalState",
+    "analyze",
+    "check_case",
+    "cwg_doomed_messages",
+    "explore",
+    "get_case",
+    "make_deadlock_witness",
+    "make_wake_witness",
+    "oracle_config",
+    "replay_witness",
+    "restore_sim",
+    "run_teeth",
+    "snapshot_state",
+    "successors",
 ]

@@ -84,7 +84,11 @@ class TestInstruments:
         reg.counter("c").inc()
         reg.gauge("g").set(2.5)
         reg.histogram("h").observe(3)
-        json.dumps(reg.snapshot())  # must not raise
+        text = json.dumps(reg.snapshot())
+        restored = json.loads(text)
+        assert restored["counters"] == {"c": 1}
+        assert restored["gauges"] == {"g": 2.5}
+        assert restored["histograms"]["h"]["count"] == 1
 
 
 class TestNullRegistry:

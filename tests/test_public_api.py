@@ -9,7 +9,7 @@ def test_top_level_exports():
 
 
 def test_headline_names_importable():
-    from repro import (  # noqa: F401
+    from repro import (
         ChannelWaitForGraph,
         DeadlockDetector,
         IrregularTorus,
@@ -28,6 +28,19 @@ def test_headline_names_importable():
         run_load_sweep,
         tiny_default,
     )
+
+    headline = [
+        ChannelWaitForGraph, DeadlockDetector, IrregularTorus, KAryNCube,
+        Mesh, NetworkSimulator, SimulationConfig, bench_default,
+        build_topology, count_simple_cycles, find_knots, make_pattern,
+        make_routing, make_selection, paper_default, run_load_sweep,
+        tiny_default,
+    ]
+    for obj in headline:
+        name = getattr(obj, "__name__", None)
+        assert name in repro.__all__, f"{name} imported but not in __all__"
+        assert getattr(repro, name) is obj, f"repro.{name} rebound"
+    assert callable(make_routing) and callable(build_topology)
 
 
 def test_subpackage_api():
