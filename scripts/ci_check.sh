@@ -30,7 +30,12 @@
 # 8. runs the campaign smoke gate: a 2-point campaign interrupted after one
 #    point, resumed, and checked bit-identical against a direct sweep with
 #    a consistent store manifest (scripts/campaign_smoke.py);
-# 9. runs the documentation drift gate: every repro.* symbol named in
+# 9. runs the distributed campaign smoke gate: a localhost scheduler, two
+#    TCP worker subprocesses, one SIGKILLed mid-point — the lease must be
+#    requeued and finished by the survivor, the manifest must stay
+#    consistent and rebuildable, and the drained store must be
+#    bit-identical to a single-host run (scripts/serve_smoke.py);
+# 10. runs the documentation drift gate: every repro.* symbol named in
 #    docs/API.md must resolve against the live package, and every relative
 #    markdown link in the repo must point at an existing file.
 set -euo pipefail
@@ -63,6 +68,9 @@ python scripts/oracle_smoke.py
 
 echo "== campaign smoke (interrupt / resume / bit-identical merge) =="
 python scripts/campaign_smoke.py
+
+echo "== distributed serve smoke (2 workers, 1 crash, bit-identical drain) =="
+python scripts/serve_smoke.py
 
 echo "== docs drift (API symbols import, markdown links resolve) =="
 python scripts/docs_check.py

@@ -12,8 +12,15 @@ a recorded :class:`~repro.campaign.store.PointFailure`, not an abort) and
 resume (points already in the store are never re-run; determinism makes
 the merged sweep bit-identical to an uninterrupted run).
 
-Entry points: ``repro campaign run|status|resume|clean`` on the CLI,
-``--store/--retries/--timeout`` on ``repro experiment``, and
+The :mod:`repro.campaign.service` subpackage scales a campaign past one
+machine: an asyncio lease scheduler with work stealing, remote TCP
+workers (``repro campaign serve`` / ``repro campaign worker``), journaled
+concurrent-writer store updates, and a live status endpoint — all while
+keeping the drained sweep bit-identical to a single-host run.
+
+Entry points: ``repro campaign run|status|resume|clean|serve|worker|
+watch|rebuild`` on the CLI, ``--store/--retries/--timeout`` on
+``repro experiment``, and
 :func:`repro.experiments.base.experiment_sweep` for programmatic use.
 """
 
@@ -25,6 +32,7 @@ from repro.campaign.store import (
     StoredPoint,
     StoreSchemaError,
     config_digest,
+    new_writer_id,
 )
 
 __all__ = [
@@ -35,5 +43,6 @@ __all__ = [
     "PointFailure",
     "StoreSchemaError",
     "config_digest",
+    "new_writer_id",
     "SCHEMA_VERSION",
 ]

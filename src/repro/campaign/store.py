@@ -18,6 +18,22 @@ campaign has touched: completed points, their attempt counts, and points
 that exhausted their retries (recorded as structured failures instead of
 aborting the sweep — see :class:`PointFailure`).
 
+**Concurrent writers.**  Artifact writes are already safe under any number
+of writers (digests are disjoint and writes are atomic rename), but the
+manifest is a single mutable index.  Two mechanisms keep it sound when
+more than one process feeds a store (the distributed campaign service,
+:mod:`repro.campaign.service`, with N network workers):
+
+* an **append-only journal** (``journal/<writer>.jsonl``): each writer
+  owns one file and only ever appends whole LDJSON records to it, so
+  writers never contend; a **single compactor**
+  (:meth:`ResultStore.compact_manifest`) folds un-consumed journal
+  records into ``manifest.json`` atomically, tracking per-writer offsets
+  in the manifest so a record is applied exactly once;
+* :meth:`ResultStore.manifest_rebuild` reconstructs the index purely from
+  the on-disk artifacts (plus a journal replay for artifact-less
+  failures) — the recovery path for a torn or lost manifest.
+
 ``SCHEMA_VERSION`` guards resumption across code changes: bump it whenever
 the serialized :class:`~repro.metrics.stats.RunResult` shape (or anything
 that feeds the digest) changes meaning.  A store written under a different
@@ -31,6 +47,9 @@ import dataclasses
 import hashlib
 import json
 import os
+import socket
+import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -50,6 +69,7 @@ __all__ = [
     "config_from_json",
     "result_to_json",
     "result_from_json",
+    "new_writer_id",
 ]
 
 #: store schema version — bump when the serialized RunResult/config shape
@@ -154,6 +174,17 @@ def _atomic_write_json(path: Path, payload: dict) -> None:
     os.replace(tmp, path)
 
 
+def new_writer_id() -> str:
+    """A journal writer identity unique across hosts, processes and restarts.
+
+    Uniqueness matters: a journal file is append-only *per writer*, and the
+    compactor tracks a consumed-record offset per writer id — a reused id
+    would replay (or skip) another process's records.
+    """
+    host = socket.gethostname().split(".", 1)[0] or "host"
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
 class ResultStore:
     """Directory of completed-point artifacts plus the campaign manifest.
 
@@ -162,9 +193,12 @@ class ResultStore:
         <root>/manifest.json          index: done points, failures, counters
         <root>/points/<digest>.json   one artifact per completed config
         <root>/points/<digest>.err.json   last worker error (transient)
+        <root>/journal/<writer>.jsonl append-only per-writer event journal
 
     Safe for one writer per artifact (digests are disjoint across points)
-    plus any number of readers; all writes are atomic rename.
+    plus any number of readers; all writes are atomic rename.  Concurrent
+    manifest updates go through the journal + single-writer compaction
+    (see the module docstring).
     """
 
     def __init__(
@@ -175,6 +209,7 @@ class ResultStore:
         self.points_dir = self.root / "points"
         self.points_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_path = self.root / "manifest.json"
+        self.journal_dir = self.root / "journal"
 
     # -- artifacts ---------------------------------------------------------------
     def digest(self, config: SimulationConfig) -> str:
@@ -235,6 +270,40 @@ class ResultStore:
         )
         return digest
 
+    def read_artifact(self, digest: str) -> dict:
+        """The raw JSON payload of a completed point's artifact.
+
+        This is what a network worker ships back to the campaign service:
+        re-serializing it with sorted keys reproduces the on-disk bytes
+        exactly, so a remotely-executed point lands in the server's store
+        bit-identical to a locally-executed one.
+        """
+        return self._read_artifact(self.point_path(digest))
+
+    def write_artifact(self, payload: dict) -> str:
+        """Persist an artifact payload produced elsewhere; returns its digest.
+
+        Validates that the payload was written under this store's schema
+        version and that its recorded digest matches the digest recomputed
+        from the embedded config — a corrupted or mis-keyed shipment is
+        refused instead of poisoning the store.
+        """
+        found = payload.get("schema_version")
+        if found != self.schema_version:
+            raise StoreSchemaError(
+                f"shipped artifact carries schema version {found}; this "
+                f"store expects {self.schema_version}"
+            )
+        config = config_from_json(payload["config"])
+        digest = self.digest(config)
+        if payload.get("digest") != digest:
+            raise StoreSchemaError(
+                f"shipped artifact digest {payload.get('digest')!r} does not "
+                f"match the digest {digest!r} of its embedded config"
+            )
+        _atomic_write_json(self.point_path(digest), payload)
+        return digest
+
     def write_error(self, digest: str, error: str, trace: str) -> None:
         """Record a worker-side failure for the parent to pick up."""
         _atomic_write_json(
@@ -278,7 +347,174 @@ class ResultStore:
         return manifest
 
     def save_manifest(self, manifest: dict) -> None:
+        """Persist the index, stamping campaign wall-clock bookkeeping.
+
+        ``started_at`` is set on the first save and never moved;
+        ``updated_at`` tracks the latest save — their difference is the
+        elapsed wall-clock ``repro campaign status`` reports.
+        """
+        now = time.time()
+        manifest.setdefault("started_at", now)
+        manifest["updated_at"] = now
         _atomic_write_json(self.manifest_path, manifest)
+
+    # -- journal: append-only records for concurrent writers ---------------------
+    def journal_append(self, writer: str, record: dict) -> None:
+        """Append one event record to ``writer``'s journal file.
+
+        Each writer owns its file exclusively (see :func:`new_writer_id`),
+        so appends from N processes never interleave bytes.  Records are
+        one LDJSON line each; a crash mid-append can tear at most the
+        final line, which readers treat as absent.
+        """
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.journal_dir / f"{writer}.jsonl", "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def journal_writers(self) -> list[str]:
+        """Writer ids that have journal files in this store, sorted."""
+        if not self.journal_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.journal_dir.glob("*.jsonl"))
+
+    def journal_records(self, writer: str) -> list[dict]:
+        """All intact records of one writer's journal, in append order.
+
+        Parsing stops at the first undecodable line: only the tail of an
+        append-only file can be torn (a crash mid-write), and a writer id
+        is never reused, so nothing valid can follow a torn line.
+        """
+        path = self.journal_dir / f"{writer}.jsonl"
+        try:
+            text = path.read_text()
+        except OSError:
+            return []
+        records = []
+        for line in text.splitlines():
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+        return records
+
+    @staticmethod
+    def _apply_journal_record(manifest: dict, record: dict) -> None:
+        """Fold one journal event into the manifest index (idempotent ops).
+
+        ``done`` records are terminal: a later ``failed`` for the same
+        digest (a stale report from a worker whose lease was reclaimed)
+        never downgrades a completed point.
+        """
+        op = record.get("op")
+        points = manifest.setdefault("points", {})
+        counters = manifest.setdefault("counters", {})
+        if op in ("done", "failed"):
+            entry = points.setdefault(
+                record["digest"],
+                {
+                    "label": record.get("label"),
+                    "load": record.get("load"),
+                    "seed": record.get("seed"),
+                },
+            )
+            if op == "done":
+                entry["status"] = "done"
+                entry.pop("error", None)
+                entry.pop("kind", None)
+                counters["executed"] = counters.get("executed", 0) + 1
+            elif entry.get("status") != "done":
+                entry["status"] = "failed"
+                entry["error"] = record.get("error", "")
+                entry["kind"] = record.get("kind", "error")
+                counters["failures"] = counters.get("failures", 0) + 1
+            if record.get("attempts") is not None:
+                entry["attempts"] = record["attempts"]
+            if record.get("worker") is not None:
+                entry["worker"] = record["worker"]
+        elif op == "count":
+            name = record["name"]
+            counters[name] = counters.get(name, 0) + record.get("amount", 1)
+
+    def compact_manifest(self) -> dict:
+        """Fold new journal records into the manifest (single-writer only).
+
+        Exactly one process may compact a store at a time — the campaign
+        service's scheduler process in distributed runs.  Per-writer
+        record offsets live in the manifest (``journal_offsets``), so a
+        record is applied exactly once across any number of compactions;
+        journal files themselves are never truncated (their writers may
+        still hold them open).
+        """
+        manifest = self.load_manifest()
+        offsets = manifest.setdefault("journal_offsets", {})
+        for writer in self.journal_writers():
+            records = self.journal_records(writer)
+            start = offsets.get(writer, 0)
+            for record in records[start:]:
+                self._apply_journal_record(manifest, record)
+            offsets[writer] = max(start, len(records))
+        self.save_manifest(manifest)
+        return manifest
+
+    def manifest_rebuild(self) -> dict:
+        """Reconstruct the manifest index from the on-disk artifacts.
+
+        The recovery path for a torn, corrupted or deleted manifest: every
+        schema-compatible artifact becomes a ``done`` entry (ground truth —
+        artifacts are atomic, so each is either complete or absent), then
+        the whole journal is replayed on top to restore attempt counts,
+        counters and artifact-less failure entries.  Unreadable artifacts
+        are skipped and counted (``counters["corrupt_artifacts"]``), never
+        fatal.  Replaces ``manifest.json`` atomically and returns it.
+        """
+        manifest = self._empty_manifest()
+        points = manifest["points"]
+        counters = manifest["counters"]
+        corrupt = 0
+        for path in sorted(self.points_dir.glob("*.json")):
+            if path.name.endswith(".err.json"):
+                continue
+            try:
+                data = json.loads(path.read_text())
+                if data.get("schema_version") != self.schema_version:
+                    continue
+                config = config_from_json(data["config"])
+                digest = data.get("digest") or path.stem
+            except (json.JSONDecodeError, KeyError, TypeError, OSError):
+                corrupt += 1
+                continue
+            points[digest] = {
+                "label": config.label(),
+                "load": config.load,
+                "seed": config.seed,
+                "status": "done",
+            }
+        offsets = {}
+        for writer in self.journal_writers():
+            records = self.journal_records(writer)
+            for record in records:
+                if record.get("op") == "done":
+                    # completion counters replay; the entry itself came
+                    # from the artifact scan (or the artifact is gone, in
+                    # which case the point must rerun, not appear done)
+                    entry = points.get(record.get("digest"))
+                    if entry is None:
+                        continue
+                    counters["executed"] = counters.get("executed", 0) + 1
+                    if record.get("attempts") is not None:
+                        entry["attempts"] = record["attempts"]
+                    if record.get("worker") is not None:
+                        entry["worker"] = record["worker"]
+                else:
+                    self._apply_journal_record(manifest, record)
+            offsets[writer] = len(records)
+        manifest["journal_offsets"] = offsets
+        if corrupt:
+            counters["corrupt_artifacts"] = corrupt
+        self.save_manifest(manifest)
+        return manifest
 
     # -- maintenance -------------------------------------------------------------
     def clean(self, *, all_points: bool = False) -> dict:
@@ -297,6 +533,9 @@ class ResultStore:
             for artifact in self.points_dir.glob("*.json"):
                 artifact.unlink(missing_ok=True)
                 dropped_artifacts += 1
+            if self.journal_dir.is_dir():
+                for journal in self.journal_dir.glob("*.jsonl"):
+                    journal.unlink(missing_ok=True)
             self.manifest_path.unlink(missing_ok=True)
             return {
                 "failed_dropped": 0,

@@ -17,7 +17,13 @@ ASCII charts; with ``--store`` the sweeps run as a checkpointed campaign.
 retry/timeout fault tolerance, ``resume`` is the same invocation spelled
 to make intent explicit (completed points are always skipped), ``status``
 renders the store manifest, ``clean`` drops failed entries (or, with
-``--all``, the whole store) so they run again.
+``--all``, the whole store) so they run again.  The distributed tier
+(:mod:`repro.campaign.service`): ``serve`` runs an experiment as a
+campaign *service* — an asyncio lease scheduler that local fork slots and
+remote machines drain cooperatively — ``worker --connect HOST:PORT``
+attaches a network worker to one, ``watch --connect HOST:PORT`` streams
+its live status, and ``rebuild`` reconstructs a store manifest from the
+on-disk artifacts and journal after corruption or loss.
 ``oracle`` drives the exhaustive model checker
 (:mod:`repro.validation.oracle`): ``list`` prints the verified
 configuration classes, ``check`` enumerates each class to closure and
@@ -129,6 +135,72 @@ def build_parser() -> argparse.ArgumentParser:
     cclean.add_argument("--store", required=True, metavar="DIR")
     cclean.add_argument("--all", action="store_true",
                         help="remove every artifact and the manifest")
+    cserve = camp_sub.add_parser(
+        "serve",
+        help="run an experiment as a distributed campaign service "
+             "(remote workers attach with `campaign worker --connect`)",
+    )
+    cserve.add_argument("id", choices=EXPERIMENT_IDS)
+    cserve.add_argument("--scale", default="bench",
+                        choices=["tiny", "bench", "paper"])
+    cserve.add_argument("--csv", metavar="PATH", help="also write CSV rows")
+    cserve.add_argument("--chart", action="store_true",
+                        help="render ASCII charts of the figure series")
+    cserve.add_argument("--obs-level", type=int, default=0, choices=[0, 1, 2],
+                        help="collect observability metrics per point")
+    cserve.add_argument("--store", required=True, metavar="DIR")
+    cserve.add_argument("--host", default="127.0.0.1",
+                        help="bind address for both endpoints (default "
+                             "127.0.0.1; use 0.0.0.0 for remote workers)")
+    cserve.add_argument("--port", type=int, default=0,
+                        help="worker-protocol TCP port (default: ephemeral)")
+    cserve.add_argument("--status-port", type=int, default=None, metavar="PORT",
+                        help="serve live JSON/SSE status here "
+                             "(0 = ephemeral; omitted = no status endpoint)")
+    cserve.add_argument("--local-workers", type=int, default=0,
+                        help="in-process fork-executor slots (default 0: "
+                             "remote workers do all the work)")
+    cserve.add_argument("--lease-ttl", type=float, default=15.0,
+                        help="seconds a lease survives without a heartbeat "
+                             "before its point is requeued (default 15)")
+    cserve.add_argument("--requeue-limit", type=int, default=3,
+                        help="lease grants per point before it degrades to "
+                             "a terminal lease-expired failure (default 3)")
+    cserve.add_argument("--retries", type=int, default=2,
+                        help="per-point re-attempts inside each worker")
+    cserve.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="per-point wall-clock budget inside each worker")
+    cworker = camp_sub.add_parser(
+        "worker", help="attach a network worker to a campaign service"
+    )
+    cworker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                         help="the service's worker-protocol endpoint")
+    cworker.add_argument("--id", dest="worker_id", default=None,
+                         help="worker identity shown in status "
+                              "(default: hostname/pid)")
+    cworker.add_argument("--retries", type=int, default=2,
+                         help="re-attempts per failed point (default 2)")
+    cworker.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                         help="per-point wall-clock budget")
+    cworker.add_argument("--max-points", type=int, default=None,
+                         help="exit after executing N points")
+    cworker.add_argument("--stay", action="store_true",
+                         help="keep polling after the campaign drains "
+                              "instead of exiting on `done`")
+    cwatch = camp_sub.add_parser(
+        "watch", help="stream a campaign service's live status"
+    )
+    cwatch.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the service's *status* endpoint")
+    cwatch.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between status polls (default 1)")
+    cwatch.add_argument("--max-updates", type=int, default=None,
+                        help="stop after N polls (default: until drained)")
+    crebuild = camp_sub.add_parser(
+        "rebuild",
+        help="reconstruct the manifest from on-disk artifacts + journal",
+    )
+    crebuild.add_argument("--store", required=True, metavar="DIR")
 
     orc = sub.add_parser(
         "oracle", help="exhaustive model-checking oracle for the detector"
@@ -273,7 +345,7 @@ def _print_campaign_summary(runner) -> None:
         )
 
 
-def _run_experiment(args: argparse.Namespace) -> int:
+def _run_experiment(args: argparse.Namespace, runner=None) -> int:
     from repro.experiments import ALL_EXPERIMENTS
     from repro.experiments.base import set_campaign_runner, set_default_obs_level
     from repro.experiments.report import (
@@ -283,7 +355,8 @@ def _run_experiment(args: argparse.Namespace) -> int:
     )
 
     set_default_obs_level(args.obs_level)
-    runner = _campaign_runner_from_args(args)
+    if runner is None:
+        runner = _campaign_runner_from_args(args)
     set_campaign_runner(runner)
     try:
         wanted = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
@@ -332,9 +405,96 @@ def _run_campaign(args: argparse.Namespace) -> int:
             f"removed"
         )
         return 0
+    if args.campaign_command == "rebuild":
+        manifest = ResultStore(args.store).manifest_rebuild()
+        statuses: dict[str, int] = {}
+        for entry in manifest["points"].values():
+            statuses[entry["status"]] = statuses.get(entry["status"], 0) + 1
+        corrupt = manifest["counters"].get("corrupt_artifacts", 0)
+        print(
+            f"rebuilt manifest for {args.store}: "
+            f"{statuses.get('done', 0)} done, {statuses.get('failed', 0)} "
+            f"failed point(s) recovered"
+            + (f"; {corrupt} corrupt artifact(s) dropped" if corrupt else "")
+        )
+        return 0
+    if args.campaign_command == "serve":
+        return _run_campaign_serve(args)
+    if args.campaign_command == "worker":
+        return _run_campaign_worker(args)
+    if args.campaign_command == "watch":
+        return _run_campaign_watch(args)
     # run / resume: identical semantics — resume is run with a store that
     # already holds completed points
     return _run_experiment(args)
+
+
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"--connect expects HOST:PORT, got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _run_campaign_serve(args: argparse.Namespace) -> int:
+    from repro.campaign.service import CampaignService, ServiceRunner
+
+    service = CampaignService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        status_port=args.status_port,
+        lease_ttl=args.lease_ttl,
+        requeue_limit=args.requeue_limit,
+        local_workers=args.local_workers,
+        retries=args.retries,
+        timeout_s=args.timeout,
+    )
+    with service:
+        print(
+            f"campaign service on {service.host}:{service.port} "
+            f"(store {service.store.root}, {args.local_workers} local "
+            f"slot(s); attach more with "
+            f"`repro campaign worker --connect {service.host}:{service.port}`)"
+        )
+        if service.status_port is not None:
+            print(
+                f"live status on http://{service.host}:{service.status_port}"
+                f"/status (SSE: /events; "
+                f"`repro campaign watch --connect "
+                f"{service.host}:{service.status_port}`)"
+            )
+        return _run_experiment(args, runner=ServiceRunner(service))
+
+
+def _run_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.campaign.service import run_worker
+
+    host, port = _parse_endpoint(args.connect)
+    stats = run_worker(
+        host,
+        port,
+        worker_id=args.worker_id,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        max_points=args.max_points,
+        exit_when_done=not args.stay,
+    )
+    print(
+        f"worker drained: {stats['points_done']} point(s) done, "
+        f"{stats['points_failed']} failed, {stats['claims']} lease(s)"
+    )
+    return 0
+
+
+def _run_campaign_watch(args: argparse.Namespace) -> int:
+    from repro.campaign.service.status import watch
+
+    host, port = _parse_endpoint(args.connect)
+    failed = watch(
+        host, port, interval_s=args.interval, max_updates=args.max_updates
+    )
+    return 1 if failed else 0
 
 
 def _run_oracle(args: argparse.Namespace) -> int:

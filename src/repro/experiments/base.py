@@ -66,7 +66,18 @@ _CAMPAIGN_RUNNER: Optional["CampaignRunner"] = None
 
 
 def set_campaign_runner(runner: Optional["CampaignRunner"]) -> None:
-    """Install (or clear, with ``None``) the campaign runner sweeps use."""
+    """Install (or clear, with ``None``) the campaign runner sweeps use.
+
+    Anything with the runner surface works — ``run_sweep(base, loads,
+    label)`` returning a :class:`~repro.campaign.runner.CampaignSweep`,
+    plus ``store`` and ``registry`` attributes.  In practice that is a
+    :class:`~repro.campaign.runner.CampaignRunner` (single-host, ``repro
+    campaign run``) or a :class:`~repro.campaign.service.runner.
+    ServiceRunner` draining points through a distributed campaign service
+    (``repro campaign serve``); experiments cannot tell them apart, which
+    is the point — distribution is an execution detail, not an experiment
+    concern.
+    """
     global _CAMPAIGN_RUNNER
     _CAMPAIGN_RUNNER = runner
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import math
+import time
 from typing import Mapping, Sequence
 
 from repro.experiments.base import ExperimentResult
@@ -233,7 +234,25 @@ def render_campaign_status(store) -> str:
         f"  schema version: {manifest.get('schema_version')}",
         f"  points: {len(done)} done, {len(failed)} failed (degraded)",
     ]
+    started = manifest.get("started_at")
+    updated = manifest.get("updated_at")
+    if started is not None and updated is not None:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(updated))
+        lines.append(
+            f"  elapsed: {max(0.0, updated - started):.1f}s wall-clock "
+            f"(last manifest write {stamp})"
+        )
     counters = manifest.get("counters", {})
+    retried = sum(
+        p.get("attempts", 1) - 1
+        for p in points.values()
+        if p.get("attempts", 1) > 1
+    )
+    lines.append(
+        f"  retries: {counters.get('retries', retried)} attempt(s) re-run "
+        f"({counters.get('timeouts', 0)} timeout(s), "
+        f"{retried} surviving in per-point attempt counts)"
+    )
     if counters:
         lines.append(
             "  counters: "

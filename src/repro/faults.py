@@ -52,6 +52,13 @@ Known fault names:
     sane timeout) after dropping its marker file; the respawned attempt
     runs normally.  Exercises the per-point wall-clock timeout kill path.
 
+``drop-lease-heartbeat``
+    A campaign-service worker (:mod:`repro.campaign.service.worker`) stops
+    sending lease heartbeats for matching points while still executing
+    them — simulating a network partition or a wedged heartbeat thread.
+    The scheduler's reaper must notice the silent lease, reclaim it, and
+    requeue the point; the teeth test asserts exactly that.
+
 The point faults honour two extra environment variables:
 ``REPRO_FAULT_MATCH`` — a substring of the config label restricting which
 points fault (empty/unset = all points) — and ``REPRO_FAULT_DIR`` — the
@@ -82,6 +89,7 @@ KNOWN_FAULTS = frozenset(
         "crash-point",
         "flaky-point",
         "hang-point",
+        "drop-lease-heartbeat",
     }
 )
 

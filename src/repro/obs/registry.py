@@ -29,6 +29,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "merge_snapshots",
+    "merge_into",
     "DEFAULT_BUCKETS",
 ]
 
@@ -233,6 +234,46 @@ def _merge_histogram(into: dict, frm: dict, name: str) -> None:
     into["count"] += frm["count"]
 
 
+def merge_into(merged: Optional[dict], snap: Optional[dict]) -> Optional[dict]:
+    """Fold one registry snapshot into an accumulator, incrementally.
+
+    The one-step form of :func:`merge_snapshots`, used where snapshots
+    arrive over time rather than as a finished collection (the campaign
+    service merges each completed point's snapshot into its live rollup
+    as results stream in).  Returns the updated accumulator; the input
+    ``merged`` may be mutated.  ``None`` snapshots are identity.
+    """
+    if snap is None:
+        return merged
+    if merged is None:
+        return copy.deepcopy(snap)
+    for name, value in snap.get("counters", {}).items():
+        merged["counters"][name] = merged["counters"].get(name, 0) + value
+    for name, value in snap.get("gauges", {}).items():
+        prev = merged["gauges"].get(name)
+        merged["gauges"][name] = value if prev is None else max(prev, value)
+    for name, hist in snap.get("histograms", {}).items():
+        mine = merged["histograms"].get(name)
+        if mine is None:
+            merged["histograms"][name] = copy.deepcopy(hist)
+        else:
+            _merge_histogram(mine, hist, name)
+    if "phases" in snap:
+        phases = merged.setdefault("phases", {})
+        for name, row in snap["phases"].items():
+            mine = phases.get(name)
+            if mine is None:
+                phases[name] = dict(row)
+            else:
+                mine["total_s"] += row["total_s"]
+                mine["calls"] += row["calls"]
+    if "trace" in snap:
+        tr = merged.setdefault("trace", {"events": 0, "dropped": 0})
+        tr["events"] = tr.get("events", 0) + snap["trace"].get("events", 0)
+        tr["dropped"] = tr.get("dropped", 0) + snap["trace"].get("dropped", 0)
+    return merged
+
+
 def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> Optional[dict]:
     """Fold registry snapshots into one rollup (associative, commutative).
 
@@ -243,35 +284,5 @@ def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> Optional[dict]:
     """
     merged: Optional[dict] = None
     for snap in snapshots:
-        if snap is None:
-            continue
-        if merged is None:
-            merged = copy.deepcopy(snap)
-            continue
-        for name, value in snap.get("counters", {}).items():
-            merged["counters"][name] = merged["counters"].get(name, 0) + value
-        for name, value in snap.get("gauges", {}).items():
-            prev = merged["gauges"].get(name)
-            merged["gauges"][name] = value if prev is None else max(prev, value)
-        for name, hist in snap.get("histograms", {}).items():
-            mine = merged["histograms"].get(name)
-            if mine is None:
-                merged["histograms"][name] = copy.deepcopy(hist)
-            else:
-                _merge_histogram(mine, hist, name)
-        if "phases" in snap:
-            phases = merged.setdefault("phases", {})
-            for name, row in snap["phases"].items():
-                mine = phases.get(name)
-                if mine is None:
-                    phases[name] = dict(row)
-                else:
-                    mine["total_s"] += row["total_s"]
-                    mine["calls"] += row["calls"]
-        if "trace" in snap:
-            tr = merged.setdefault("trace", {"events": 0, "dropped": 0})
-            tr["events"] = tr.get("events", 0) + snap["trace"].get("events", 0)
-            tr["dropped"] = tr.get("dropped", 0) + snap["trace"].get(
-                "dropped", 0
-            )
+        merged = merge_into(merged, snap)
     return merged

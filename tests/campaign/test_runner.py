@@ -190,3 +190,21 @@ class TestStatusRendering:
         text = render_campaign_status(store)
         assert "1 done, 1 failed" in text
         assert "FAILED" in text and "L=0.60" in text
+
+    def test_status_reports_elapsed_and_retries(self, tmp_path, monkeypatch):
+        from repro.experiments.report import render_campaign_status
+
+        monkeypatch.setenv(faults.ENV_VAR, "flaky-point")
+        monkeypatch.setenv(faults.MATCH_ENV_VAR, "L=0.60")
+        (tmp_path / "faults").mkdir()
+        monkeypatch.setenv(faults.DIR_ENV_VAR, str(tmp_path / "faults"))
+        store = ResultStore(tmp_path / "store")
+        CampaignRunner(
+            store, retries=2, backoff_s=0.01, max_workers=2
+        ).run_sweep(tiny_default(**FAST), LOADS)
+        text = render_campaign_status(store)
+        assert "elapsed:" in text and "wall-clock" in text
+        assert "last manifest write" in text
+        # flaky-point fails only the first attempt: one retry survives
+        assert "retries: 1 attempt(s) re-run" in text
+        assert "1 surviving in per-point attempt counts" in text

@@ -25,6 +25,60 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_campaign_serve_args(self):
+        args = build_parser().parse_args(
+            [
+                "campaign", "serve", "FIG5", "--store", "runs/fig5",
+                "--scale", "tiny", "--port", "7000", "--status-port", "7001",
+                "--local-workers", "2", "--lease-ttl", "5",
+            ]
+        )
+        assert args.campaign_command == "serve"
+        assert args.id == "FIG5" and args.store == "runs/fig5"
+        assert args.port == 7000 and args.status_port == 7001
+        assert args.local_workers == 2 and args.lease_ttl == 5.0
+
+    def test_campaign_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["campaign", "serve", "FIG5", "--store", "runs/fig5"]
+        )
+        assert args.port == 0 and args.status_port is None
+        assert args.local_workers == 0
+        assert args.lease_ttl == 15.0 and args.requeue_limit == 3
+
+    def test_campaign_worker_args(self):
+        args = build_parser().parse_args(
+            [
+                "campaign", "worker", "--connect", "host-a:7000",
+                "--id", "rack3/w1", "--max-points", "10", "--stay",
+            ]
+        )
+        assert args.campaign_command == "worker"
+        assert args.connect == "host-a:7000"
+        assert args.worker_id == "rack3/w1"
+        assert args.max_points == 10 and args.stay is True
+
+    def test_campaign_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "worker"])
+
+    def test_campaign_watch_args(self):
+        args = build_parser().parse_args(
+            [
+                "campaign", "watch", "--connect", "127.0.0.1:7001",
+                "--interval", "0.5", "--max-updates", "3",
+            ]
+        )
+        assert args.campaign_command == "watch"
+        assert args.interval == 0.5 and args.max_updates == 3
+
+    def test_campaign_rebuild_args(self):
+        args = build_parser().parse_args(
+            ["campaign", "rebuild", "--store", "runs/fig5"]
+        )
+        assert args.campaign_command == "rebuild"
+        assert args.store == "runs/fig5"
+
 
 class TestMain:
     def test_simulate_runs(self, capsys):

@@ -132,6 +132,7 @@ def test_known_faults_registry():
         "skip-dirty-acquire", "skip-dirty-block", "skip-wake",
         "skip-immobile-clear",
         "crash-point", "flaky-point", "hang-point",
+        "drop-lease-heartbeat",
     }
 
 
