@@ -36,8 +36,10 @@
 #    consistent and rebuildable, and the drained store must be
 #    bit-identical to a single-host run (scripts/serve_smoke.py);
 # 10. runs the documentation drift gate: every repro.* symbol named in
-#    docs/API.md must resolve against the live package, and every relative
-#    markdown link in the repo must point at an existing file.
+#    docs/API.md must resolve against the live package, every relative
+#    markdown link in the repo must point at an existing file, and every
+#    Topology subclass / CLI --topology choice must be documented in
+#    docs/TOPOLOGIES.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,7 +74,7 @@ python scripts/campaign_smoke.py
 echo "== distributed serve smoke (2 workers, 1 crash, bit-identical drain) =="
 python scripts/serve_smoke.py
 
-echo "== docs drift (API symbols import, markdown links resolve) =="
+echo "== docs drift (API symbols, markdown links, topology coverage) =="
 python scripts/docs_check.py
 
 echo "ci_check: OK"

@@ -10,7 +10,10 @@ script does — it is part of ``scripts/ci_check.sh``:
    against the live package (import the longest importable module prefix,
    then walk attributes), so the reference cannot drift from the code;
 2. every relative link in the repo's markdown files must point at a file
-   that exists.
+   that exists;
+3. every public ``Topology`` subclass and every CLI ``--topology`` choice
+   must be documented in ``docs/TOPOLOGIES.md`` — a new topology class
+   cannot land without its reference entry.
 
 Exit status is the number of problems (0 = clean).
 """
@@ -26,6 +29,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 API_DOC = REPO_ROOT / "docs" / "API.md"
+TOPOLOGY_DOC = REPO_ROOT / "docs" / "TOPOLOGIES.md"
 
 #: a dotted repro.* path: the package name plus at least one attribute
 SYMBOL_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
@@ -106,8 +110,57 @@ def check_markdown_links() -> list[str]:
     return problems
 
 
+def check_topology_docs() -> list[str]:
+    """Every topology class and CLI choice must appear in TOPOLOGIES.md."""
+    if not TOPOLOGY_DOC.exists():
+        return [f"{TOPOLOGY_DOC.relative_to(REPO_ROOT)}: missing"]
+    text = TOPOLOGY_DOC.read_text()
+    problems = []
+
+    from repro.network import topology as topo_mod
+
+    def subclasses(cls):
+        for sub in cls.__subclasses__():
+            yield sub
+            yield from subclasses(sub)
+
+    classes = sorted(
+        {c.__name__ for c in subclasses(topo_mod.Topology)
+         if not c.__name__.startswith("_")}
+    )
+    for name in classes:
+        if name not in text:
+            problems.append(
+                f"docs/TOPOLOGIES.md: Topology subclass `{name}` is "
+                f"undocumented"
+            )
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    choices: list[str] = []
+    for action in parser._subparsers._group_actions[0].choices["simulate"]._actions:
+        if "--topology" in action.option_strings:
+            choices = list(action.choices)
+    if not choices:
+        problems.append("docs/TOPOLOGIES.md: simulate has no --topology flag")
+    for choice in choices:
+        if f"`{choice}`" not in text:
+            problems.append(
+                f"docs/TOPOLOGIES.md: CLI --topology choice `{choice}` is "
+                f"undocumented"
+            )
+    print(
+        f"docs_check: {len(classes)} topology classes and {len(choices)} "
+        f"CLI choices covered by docs/TOPOLOGIES.md"
+    )
+    return problems
+
+
 def main() -> int:
-    problems = check_api_symbols() + check_markdown_links()
+    problems = (
+        check_api_symbols() + check_markdown_links() + check_topology_docs()
+    )
     for problem in problems:
         print(f"DOCS: {problem}")
     if not problems:

@@ -81,6 +81,16 @@ SCHEMA_VERSION = 1
 #: compares equal to the original
 _TUPLE_FIELDS = ("failed_links", "length_mix", "traffic_mix")
 
+#: flat tuple-of-int fields (no nesting) restored the same way
+_FLAT_TUPLE_FIELDS = ("dims", "link_latencies")
+
+#: fields elided from the canonical JSON form when they hold their default
+#: value.  These were added after artifacts existed in the wild: dropping
+#: the defaulted keys keeps every pre-existing config digest (and thus the
+#: campaign store's content addressing) byte-stable, while configs that
+#: actually exercise the new knobs get distinct digests.
+_ELIDE_AT_DEFAULT = (("topology", "torus"), ("dims", ()), ("link_latencies", ()))
+
 
 class StoreSchemaError(ReproError):
     """A store artifact/manifest was written under a different schema."""
@@ -122,8 +132,16 @@ class StoredPoint:
 
 
 def config_to_json(config: SimulationConfig) -> dict:
-    """Canonical JSON-able form of a config (tuples become lists)."""
-    return dataclasses.asdict(config)
+    """Canonical JSON-able form of a config (tuples become lists).
+
+    Late-addition fields still holding their defaults are elided (see
+    ``_ELIDE_AT_DEFAULT``) so digests of pre-existing configs never move.
+    """
+    data = dataclasses.asdict(config)
+    for name, default in _ELIDE_AT_DEFAULT:
+        if data.get(name) == default:
+            del data[name]
+    return data
 
 
 def config_from_json(data: dict) -> SimulationConfig:
@@ -132,6 +150,9 @@ def config_from_json(data: dict) -> SimulationConfig:
     for name in _TUPLE_FIELDS:
         if name in data:
             data[name] = tuple(tuple(entry) for entry in data[name])
+    for name in _FLAT_TUPLE_FIELDS:
+        if name in data:
+            data[name] = tuple(data[name])
     return SimulationConfig(**data)
 
 

@@ -3,15 +3,20 @@
 Four subcommands::
 
     python -m repro simulate --k 8 --n 2 --routing dor --vcs 1 --load 0.8
+    python -m repro simulate --topology dragonfly --dims 4,2,2 --routing df-min
     python -m repro experiment FIG5 --scale bench [--csv out.csv] [--chart]
     python -m repro campaign run FIG5 --store runs/fig5 --scale bench
     python -m repro oracle check [CASE ...] [--witness-dir DIR]
 
-``simulate`` runs one configuration and prints the run summary plus the
-deadlock characterization.  ``experiment`` regenerates one of the paper's
+``simulate`` runs one configuration — any topology in the zoo
+(``--topology torus|mesh3d|torus3d|dragonfly|fullmesh``, see
+docs/TOPOLOGIES.md) — and prints the run summary plus the deadlock
+characterization.  ``experiment`` regenerates one of the paper's
 figures/tables (FIG5, FIG6, FIG7, FIG8, SEC3.5, SEC3.6, TAB-AVOID,
-ABL-DET) and prints the paper-style tables, optionally with CSV export and
-ASCII charts; with ``--store`` the sweeps run as a checkpointed campaign.
+ABL-DET, ... or the cross-topology TOPO-CMP study, alias
+``topology-comparison``) and prints the paper-style tables, optionally
+with CSV export and ASCII charts; with ``--store`` the sweeps run as a
+checkpointed campaign.
 ``campaign`` manages durable sweep campaigns (:mod:`repro.campaign`):
 ``run`` executes an experiment against a result store with per-point
 retry/timeout fault tolerance, ``resume`` is the same invocation spelled
@@ -46,7 +51,8 @@ __all__ = ["main", "build_parser"]
 EXPERIMENT_IDS = [
     "FIG5", "FIG6", "FIG7", "FIG8", "SEC3.5", "SEC3.6",
     "TAB-AVOID", "ABL-DET", "ABL-REC", "ABL-SEL", "ABL-INT",
-    "ABL-TIMEOUT", "EXT-LEN", "EXT-GRAN", "EXT-FAULT", "ABL-ARB", "all",
+    "ABL-TIMEOUT", "EXT-LEN", "EXT-GRAN", "EXT-FAULT", "ABL-ARB",
+    "TOPO-CMP", "topology-comparison", "all",
 ]
 
 
@@ -62,15 +68,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="run one simulation")
+    sim.add_argument("--topology", default="torus",
+                     choices=["torus", "mesh3d", "torus3d", "dragonfly",
+                              "fullmesh"],
+                     help="topology class (default torus: k-ary n-cube)")
     sim.add_argument("--k", type=int, default=8, help="radix (default 8)")
     sim.add_argument("--n", type=int, default=2, help="dimensions (default 2)")
+    sim.add_argument("--dims", type=_parse_int_tuple, default=(),
+                     metavar="A,B,...",
+                     help="topology shape: per-dimension radices for "
+                          "mesh3d/torus3d (e.g. 4,4,4), 'a,p,h' for "
+                          "dragonfly, 'N' for fullmesh")
+    sim.add_argument("--link-latencies", type=_parse_int_tuple, default=(),
+                     metavar="L,L,...",
+                     help="per-dimension link latency in cycles (e.g. "
+                          "1,1,4 for a slow TSV dimension; dragonfly "
+                          "takes 'local,global', fullmesh one value)")
     sim.add_argument("--unidirectional", action="store_true")
     sim.add_argument("--mesh", action="store_true")
     sim.add_argument(
         "--routing",
         default="dor",
         choices=["dor", "tfar", "tfar-mis", "dor-dateline", "duato",
-                 "negative-first"],
+                 "negative-first", "df-min", "df-val", "fm-direct",
+                 "fm-2hop"],
     )
     sim.add_argument("--vcs", type=int, default=1, help="virtual channels")
     sim.add_argument("--buffer", type=int, default=2, help="buffer depth (flits)")
@@ -234,6 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_int_tuple(value: str) -> tuple[int, ...]:
+    """argparse type for comma-separated positive-int tuples like '4,4,2'."""
+    try:
+        return tuple(int(part) for part in value.split(",") if part != "")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {value!r}"
+        ) from None
+
+
 def _add_campaign_run_args(
     parser: argparse.ArgumentParser, *, store_required: bool
 ) -> None:
@@ -263,6 +294,9 @@ def _run_simulate(args: argparse.Namespace) -> int:
     if args.trace_out and obs_level < 2:
         obs_level = 2  # tracing needs the level-2 ring buffer
     config = SimulationConfig(
+        topology=args.topology,
+        dims=args.dims,
+        link_latencies=args.link_latencies,
         k=args.k,
         n=args.n,
         bidirectional=not args.unidirectional,
@@ -346,11 +380,12 @@ def _print_campaign_summary(runner) -> None:
 
 
 def _run_experiment(args: argparse.Namespace, runner=None) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments import ALL_EXPERIMENTS, EXPERIMENT_ALIASES
     from repro.experiments.base import set_campaign_runner, set_default_obs_level
     from repro.experiments.report import (
         render_figure,
         render_obs_rollup,
+        render_topology_comparison,
         sweep_csv,
     )
 
@@ -359,11 +394,15 @@ def _run_experiment(args: argparse.Namespace, runner=None) -> int:
         runner = _campaign_runner_from_args(args)
     set_campaign_runner(runner)
     try:
-        wanted = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+        exp_id = EXPERIMENT_ALIASES.get(args.id, args.id)
+        wanted = list(ALL_EXPERIMENTS) if exp_id == "all" else [exp_id]
         csv_parts = []
         for exp_id in wanted:
             result = ALL_EXPERIMENTS[exp_id](scale=args.scale)
             print(result.format_tables())
+            if exp_id == "TOPO-CMP":
+                print()
+                print(render_topology_comparison(result))
             if args.obs_level:
                 rollup = render_obs_rollup(result)
                 if rollup:

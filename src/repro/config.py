@@ -34,6 +34,19 @@ class SimulationConfig:
     bidirectional: bool = True  #: physical channel in each direction?
     mesh: bool = False  #: mesh instead of torus (for turn-model baselines)
     failed_links: tuple[tuple[int, int], ...] = ()  #: removed (src, dst) pairs
+    #: topology class: "torus" (the paper's k-ary n-cube family, shaped by
+    #: ``k``/``n``/``mesh``/``failed_links`` above) or one of the zoo
+    #: classes — "mesh3d" / "torus3d" (mixed-radix 3D grids, ``dims`` =
+    #: 3 radices), "dragonfly" (``dims`` = (a, p, h)) or "fullmesh"
+    #: (``dims`` = (num_nodes,)).  See docs/TOPOLOGIES.md.
+    topology: str = "torus"
+    #: shape parameters for the zoo topologies (must stay () for "torus")
+    dims: tuple[int, ...] = ()
+    #: per-class link latencies in cycles/flit: per-dimension for grid
+    #: topologies (a TSV vertical-link penalty on "mesh3d"/"torus3d"),
+    #: (local, global) for "dragonfly", (latency,) for "fullmesh".
+    #: Empty = 1 everywhere, the paper's model.
+    link_latencies: tuple[int, ...] = ()
 
     # -- router -----------------------------------------------------------------
     num_vcs: int = 1  #: virtual channels per physical channel
@@ -123,11 +136,84 @@ class SimulationConfig:
     obs_level: int = 0
     obs_trace_capacity: int = 65_536  #: trace ring-buffer bound (events)
 
+    #: latency count expected from ``link_latencies`` per topology class
+    #: (None = per-dimension, derived from the grid shape)
+    _TOPOLOGIES = ("torus", "mesh3d", "torus3d", "dragonfly", "fullmesh")
+
+    def _validate_topology(self) -> None:
+        if self.topology not in self._TOPOLOGIES:
+            raise ConfigurationError(
+                f"topology must be one of {self._TOPOLOGIES}, got {self.topology!r}"
+            )
+        if any(lat < 1 for lat in self.link_latencies):
+            raise ConfigurationError(
+                f"link latencies must be >= 1, got {self.link_latencies}"
+            )
+        if self.topology == "torus":
+            if self.dims:
+                raise ConfigurationError(
+                    "dims shapes the zoo topologies only; the 'torus' family "
+                    "is shaped by k and n"
+                )
+            if self.k < 2:
+                raise ConfigurationError(f"k must be >= 2, got {self.k}")
+            if self.n < 1:
+                raise ConfigurationError(f"n must be >= 1, got {self.n}")
+            if self.link_latencies and len(self.link_latencies) != self.n:
+                raise ConfigurationError(
+                    f"expected {self.n} per-dimension link latencies, "
+                    f"got {len(self.link_latencies)}"
+                )
+            if self.link_latencies and self.failed_links:
+                raise ConfigurationError(
+                    "link_latencies and failed_links cannot be combined"
+                )
+            return
+        if self.mesh:
+            raise ConfigurationError(
+                "the mesh flag applies to the 'torus' family only; "
+                "use topology='mesh3d' for a 3D mesh"
+            )
+        if self.failed_links:
+            raise ConfigurationError(
+                "failed links are modelled on the 'torus' family only"
+            )
+        if not self.bidirectional and self.topology != "torus3d":
+            raise ConfigurationError(
+                f"topology {self.topology!r} is always bidirectional"
+            )
+        expected_lat = {"mesh3d": 3, "torus3d": 3, "dragonfly": 2, "fullmesh": 1}
+        want = expected_lat[self.topology]
+        if self.link_latencies and len(self.link_latencies) != want:
+            raise ConfigurationError(
+                f"topology {self.topology!r} takes {want} link latencies "
+                f"({'per dimension' if want == 3 else 'see docs/TOPOLOGIES.md'}), "
+                f"got {len(self.link_latencies)}"
+            )
+        if self.topology in ("mesh3d", "torus3d"):
+            if len(self.dims) != 3 or any(d < 2 for d in self.dims):
+                raise ConfigurationError(
+                    f"topology {self.topology!r} needs dims = 3 radices >= 2, "
+                    f"got {self.dims}"
+                )
+        elif self.topology == "dragonfly":
+            if len(self.dims) != 3:
+                raise ConfigurationError(
+                    f"dragonfly needs dims = (a, p, h), got {self.dims}"
+                )
+            a, p, h = self.dims
+            if a < 2 or p < 1 or h < 1:
+                raise ConfigurationError(
+                    f"dragonfly needs a >= 2, p >= 1, h >= 1, got {self.dims}"
+                )
+        else:  # fullmesh
+            if len(self.dims) != 1 or self.dims[0] < 2:
+                raise ConfigurationError(
+                    f"fullmesh needs dims = (num_nodes >= 2,), got {self.dims}"
+                )
+
     def validate(self) -> None:
-        if self.k < 2:
-            raise ConfigurationError(f"k must be >= 2, got {self.k}")
-        if self.n < 1:
-            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        self._validate_topology()
         if self.num_vcs < 1:
             raise ConfigurationError(f"num_vcs must be >= 1, got {self.num_vcs}")
         if self.buffer_depth < 1:
@@ -193,6 +279,15 @@ class SimulationConfig:
                     "pyproject.toml as numpy>=1.23); install it or drop "
                     "the engine_kernels flag"
                 ) from exc
+        if self.engine_vectorized and (
+            self.topology != "torus" or any(l != 1 for l in self.link_latencies)
+        ):
+            raise ConfigurationError(
+                "the vectorized/kernel engine tiers currently support "
+                "unit-latency k-ary n-cube ('torus' family) configs only; "
+                "run topology-zoo or heterogeneous-latency configs on the "
+                "legacy or fast-path engine (engine_vectorized=False)"
+            )
         if self.mesh and not self.bidirectional:
             raise ConfigurationError("meshes are always bidirectional")
         if self.mesh and self.failed_links:
@@ -234,6 +329,16 @@ class SimulationConfig:
 
     @property
     def num_nodes(self) -> int:
+        if self.topology in ("mesh3d", "torus3d"):
+            out = 1
+            for d in self.dims:
+                out *= d
+            return out
+        if self.topology == "dragonfly":
+            a, _p, h = self.dims
+            return a * (a * h + 1)
+        if self.topology == "fullmesh":
+            return self.dims[0]
         return self.k**self.n
 
     @property
@@ -243,9 +348,21 @@ class SimulationConfig:
 
     def label(self) -> str:
         """Short human-readable tag used in experiment tables."""
-        kind = "mesh" if self.mesh else ("bi" if self.bidirectional else "uni")
+        if self.topology in ("mesh3d", "torus3d"):
+            shape = "x".join(str(d) for d in self.dims)
+            head = f"{self.topology}({shape})"
+            if self.link_latencies:
+                head += "/lat" + ",".join(str(l) for l in self.link_latencies)
+        elif self.topology == "dragonfly":
+            a, p, h = self.dims
+            head = f"dragonfly(a{a} p{p} h{h})"
+        elif self.topology == "fullmesh":
+            head = f"fullmesh({self.dims[0]})"
+        else:
+            kind = "mesh" if self.mesh else ("bi" if self.bidirectional else "uni")
+            head = f"{self.k}-ary {self.n}-cube/{kind}"
         return (
-            f"{self.k}-ary {self.n}-cube/{kind} {self.routing.upper()}"
+            f"{head} {self.routing.upper()}"
             f"{self.num_vcs} buf={self.buffer_depth} L={self.load:.2f}"
         )
 

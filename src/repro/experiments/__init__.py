@@ -18,6 +18,8 @@ ABL-TIMEOUT  end-to-end timeout-heuristic recovery vs truth
 EXT-LEN      message-length sensitivity (future-work extension)
 EXT-GRAN     channel- vs message-granularity verdicts (PWFG)
 EXT-FAULT    failed links / irregular topology (future-work extension)
+TOPO-CMP     deadlock character across topology classes (torus3d,
+             dragonfly, full mesh); alias ``topology-comparison``
 ===========  ==========================================================
 
 Each runner is ``run(scale=..., ...) -> ExperimentResult`` and is also
@@ -33,6 +35,7 @@ from repro.experiments import (
     fig7,
     fig8,
     node_degree,
+    topology_comparison,
     traffic_patterns,
 )
 from repro.experiments.base import ExperimentResult, format_table, scaled_config
@@ -54,6 +57,13 @@ ALL_EXPERIMENTS = {
     "EXT-GRAN": ablations.run_granularity,
     "EXT-FAULT": ablations.run_faults,
     "ABL-ARB": ablations.run_arbitration,
+    "TOPO-CMP": topology_comparison.run,
+}
+
+#: human-friendly spellings accepted by the CLI (resolved before lookup,
+#: never iterated by ``experiment all`` — no double runs)
+EXPERIMENT_ALIASES = {
+    "topology-comparison": "TOPO-CMP",
 }
 
 __all__ = [
@@ -63,6 +73,7 @@ __all__ = [
     "fig7",
     "fig8",
     "node_degree",
+    "topology_comparison",
     "traffic_patterns",
     "avoidance_vs_recovery",
     "detector_ablation",
@@ -70,4 +81,5 @@ __all__ = [
     "format_table",
     "scaled_config",
     "ALL_EXPERIMENTS",
+    "EXPERIMENT_ALIASES",
 ]

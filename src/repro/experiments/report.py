@@ -21,6 +21,7 @@ __all__ = [
     "experiment_csv",
     "ascii_chart",
     "render_figure",
+    "render_topology_comparison",
     "format_obs_snapshot",
     "render_obs_rollup",
     "render_campaign_status",
@@ -271,6 +272,51 @@ def render_campaign_status(store) -> str:
     if not points:
         lines.append("  (empty — no points recorded yet)")
     return "\n".join(lines)
+
+
+def render_topology_comparison(result: ExperimentResult) -> str:
+    """The TOPO-CMP summary table: one row per topology class.
+
+    Condenses each series' sweep into the quantities the study compares —
+    absolute capacity, total deadlocks over the sweep, the peak
+    per-1k-cycle formation rate, and the mean knot size / cycle density
+    over the loads that actually deadlocked.  The per-load detail stays
+    in the standard sweep tables; this is the figure-style rollup.
+    """
+    from repro.experiments.base import format_table
+
+    rows = []
+    for label, sweep in result.sweeps.items():
+        key = label.split("/", 1)[0].replace("-", "_")
+        deadlocked = [r for r in sweep.results if r.deadlocks]
+        rows.append(
+            (
+                label,
+                result.observations.get(f"{key}_capacity_flits", float("nan")),
+                sum(sweep.deadlock_counts),
+                max((r.normalized_deadlocks for r in sweep.results), default=0.0),
+                result.observations.get(f"{key}_mean_knot_size", 0.0),
+                result.observations.get(f"{key}_mean_cycle_density", 0.0),
+                len(deadlocked),
+            )
+        )
+    return format_table(
+        f"{result.experiment_id}: topology-class comparison",
+        (
+            "topology/routing",
+            "capacity",
+            "dlocks",
+            "peak/1kcyc",
+            "knot_size",
+            "cyc_dens",
+            "loads_dl",
+        ),
+        rows,
+        notes=(
+            "capacity in flits/node/cycle; knot size & cycle density "
+            "averaged over deadlocked loads only",
+        ),
+    )
 
 
 def render_figure(

@@ -74,7 +74,16 @@ from repro.metrics.stats import RunResult, StatsCollector
 from repro.network.channels import ChannelPool, VirtualChannel
 from repro.obs import Observer
 from repro.network.message import Message, MessageStatus
-from repro.network.topology import IrregularTorus, KAryNCube, Mesh, Topology
+from repro.network.topology import (
+    Dragonfly,
+    FullMesh,
+    IrregularTorus,
+    KAryNCube,
+    Mesh,
+    Mesh3D,
+    Topology,
+    Torus3D,
+)
 from repro.routing import make_routing, make_selection
 from repro.traffic import LengthMix, MessageGenerator, make_pattern
 
@@ -87,11 +96,26 @@ _PHASE_MOVE = 1
 
 def build_topology(config: SimulationConfig) -> Topology:
     """Construct the topology a configuration describes."""
+    lat = config.link_latencies or None
+    if config.topology == "mesh3d":
+        return Mesh3D(config.dims, link_latencies=lat)
+    if config.topology == "torus3d":
+        return Torus3D(
+            config.dims, link_latencies=lat, bidirectional=config.bidirectional
+        )
+    if config.topology == "dragonfly":
+        a, p, h = config.dims
+        local, global_ = lat if lat else (1, 1)
+        return Dragonfly(a, p, h, local_latency=local, global_latency=global_)
+    if config.topology == "fullmesh":
+        return FullMesh(config.dims[0], latency=lat[0] if lat else 1)
     if config.mesh:
-        return Mesh(config.k, config.n)
+        return Mesh(config.k, config.n, link_latencies=lat)
     if config.failed_links:
         return IrregularTorus(config.k, config.n, config.failed_links)
-    return KAryNCube(config.k, config.n, bidirectional=config.bidirectional)
+    return KAryNCube(
+        config.k, config.n, bidirectional=config.bidirectional, link_latencies=lat
+    )
 
 
 class NetworkSimulator:
@@ -203,6 +227,17 @@ class NetworkSimulator:
         self._live: dict[int, Message] = {}  # queued + active, by id
         self._link_used = bytearray(self.topology.num_links)
         self._zero_links = bytes(self.topology.num_links)
+        # Heterogeneous link latency (topology zoo): a flit crossing a
+        # latency-L link keeps it busy until cycle + L.  None on the
+        # paper's uniform unit-latency topologies, where the per-cycle
+        # ``_link_used`` bytearray alone is exact (and the hot path pays
+        # nothing for the feature).
+        if self.topology.uniform_latency:
+            self._link_free_at = None
+            self._link_latency = None
+        else:
+            self._link_free_at = [0] * self.topology.num_links
+            self._link_latency = [link.latency for link in self.topology.links]
         # per-phase monotone round-robin counters (allocation, movement)
         self._rr_counters = [0, 0]
         self._candidate_cache: dict = {}
@@ -536,6 +571,8 @@ class NetworkSimulator:
     def _phase_move(self) -> None:
         link_used = self._link_used
         link_used[:] = self._zero_links
+        free_at = self._link_free_at  # None on uniform unit-latency topologies
+        latency = self._link_latency
         fast = self.fast_path
         tracker = self.tracker
         cycle = self.cycle
@@ -564,6 +601,9 @@ class NetworkSimulator:
                 li = dst.link_index
                 if link_used[li]:
                     continue
+                if free_at is not None and free_at[li] > cycle:
+                    # latency-L channel still busy with an earlier flit
+                    continue
                 if i > 0:
                     src = vcs[i - 1]
                     if src.occupancy == 0:
@@ -575,6 +615,8 @@ class NetworkSimulator:
                     msg.at_source -= 1
                 dst.occupancy += 1
                 link_used[li] = 1
+                if free_at is not None:
+                    free_at[li] = cycle + latency[li]
                 moved = True
                 if i == len(vcs) - 1 and msg.head_arrival is None:
                     msg.head_arrival = cycle  # header reached a new node

@@ -11,6 +11,16 @@ Avoidance-based baselines (provably deadlock-free):
 * :class:`DatelineDOR` — Dally/Seitz dateline VC classes on tori.
 * :class:`DuatoProtocolRouting` — adaptive with escape channels.
 * :class:`NegativeFirstRouting` — Glass/Ni turn model on meshes.
+
+Topology-zoo relations (see docs/TOPOLOGIES.md):
+
+* :class:`DragonflyMinimal` / :class:`DragonflyValiant` — hierarchical
+  minimal and Valiant-style non-minimal dragonfly routing (deadlock
+  possible in both).
+* :class:`FullMeshDirect` — single-hop direct routing, deadlock-free
+  without VC restrictions.
+* :class:`FullMeshMisroute` — one optional intermediate hop; misrouting
+  reintroduces hold-and-wait cycles.
 """
 
 from repro.routing.analysis import (
@@ -30,6 +40,12 @@ from repro.routing.selection import (
     StraightThroughFirst,
     make_selection,
 )
+from repro.routing.hierarchical import (
+    DragonflyMinimal,
+    DragonflyValiant,
+    FullMeshDirect,
+    FullMeshMisroute,
+)
 from repro.routing.tfar import MisroutingTFAR, TrueFullyAdaptiveRouting
 from repro.routing.turnmodel import NegativeFirstRouting
 
@@ -45,6 +61,10 @@ __all__ = [
     "DatelineDOR",
     "DuatoProtocolRouting",
     "NegativeFirstRouting",
+    "DragonflyMinimal",
+    "DragonflyValiant",
+    "FullMeshDirect",
+    "FullMeshMisroute",
     "SelectionPolicy",
     "StraightThroughFirst",
     "RandomSelection",
@@ -60,6 +80,10 @@ _ROUTERS = {
     "dor-dateline": DatelineDOR,
     "duato": DuatoProtocolRouting,
     "negative-first": NegativeFirstRouting,
+    "df-min": DragonflyMinimal,
+    "df-val": DragonflyValiant,
+    "fm-direct": FullMeshDirect,
+    "fm-2hop": FullMeshMisroute,
 }
 
 

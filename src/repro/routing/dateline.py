@@ -75,7 +75,7 @@ class DatelineDOR(DimensionOrderRouting):
         dim = link.dim
         cur = topology.coords(node)[dim]
         src = topology.coords(message.src)[dim]
-        k = topology.k
+        k = topology.dims[dim]
         if link.direction == +1:
             if cur == k - 1:  # this hop *is* the wraparound
                 return True

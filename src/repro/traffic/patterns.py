@@ -151,7 +151,8 @@ class BitComplementTraffic(TrafficPattern):
 class TornadoTraffic(TrafficPattern):
     """Each message travels half-way around every dimension.
 
-    Maximally stresses wraparound links; only defined for k-ary n-cubes.
+    Maximally stresses wraparound links; only defined for the k-ary
+    n-cube family (mixed-radix tori shift half-way around each ring).
     """
 
     name = "tornado"
@@ -164,8 +165,10 @@ class TornadoTraffic(TrafficPattern):
     def dest_for(self, src: int, rng: random.Random) -> Optional[int]:
         topo = self.topology
         assert isinstance(topo, KAryNCube)
-        shift = max(1, (topo.k - 1) // 2)
-        coords = [(c + shift) % topo.k for c in topo.coords(src)]
+        coords = [
+            (c + max(1, (kd - 1) // 2)) % kd
+            for c, kd in zip(topo.coords(src), topo.dims)
+        ]
         dest = topo.node_at(coords)
         return None if dest == src else dest
 

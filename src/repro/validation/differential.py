@@ -437,6 +437,10 @@ def load_artifact(path: Path | str) -> tuple[str, SimulationConfig]:
     fields["traffic_mix"] = tuple(
         (str(p), float(w)) for p, w in fields.get("traffic_mix", ())
     )
+    fields["dims"] = tuple(int(d) for d in fields.get("dims", ()))
+    fields["link_latencies"] = tuple(
+        int(l) for l in fields.get("link_latencies", ())
+    )
     return payload["axis"], SimulationConfig(**fields)
 
 

@@ -176,6 +176,35 @@ ORACLE_GRID: tuple[OracleCase, ...] = (
         expected=866, terminals=1, deadlocked=0,
         k=4, max_messages=4, traffic="tornado",
     ),
+    _case(
+        "dragonfly-min-free",
+        "(a=2, h=1) dragonfly (3 groups, 6 routers) under hierarchical "
+        "minimal routing, 2 two-flit messages: a local-global-local wait "
+        "cycle needs two distinct global channels between one group pair, "
+        "which the palmtree arrangement never provides — the closure is "
+        "deadlock-free",
+        expected=3430, terminals=1, deadlocked=0,
+        topology="dragonfly", dims=(2, 1, 1), bidirectional=True,
+        routing="df-min", max_messages=2,
+    ),
+    _case(
+        "fullmesh-direct-free",
+        "3-node full mesh under direct routing: every message holds at "
+        "most one channel and waits only on reception, so no wait cycle "
+        "can close at any reachable state",
+        expected=24, terminals=1, deadlocked=0,
+        topology="fullmesh", dims=(3,), bidirectional=True,
+        routing="fm-direct", selection="random", max_messages=3,
+    ),
+    _case(
+        "fullmesh-2hop-deadlock",
+        "the same 3-node full mesh with one misroute hop allowed "
+        "(fm-2hop): three mutually-misrouted worms close a 3-channel "
+        "knot — misrouting provably reintroduces deadlock",
+        expected=204, terminals=3, deadlocked=2,
+        topology="fullmesh", dims=(3,), bidirectional=True,
+        routing="fm-2hop", selection="random", max_messages=3,
+    ),
 )
 
 
@@ -651,6 +680,10 @@ def load_witness(path: Path | str) -> dict:
     fields["traffic_mix"] = tuple(
         (str(p), float(w)) for p, w in fields.get("traffic_mix", ())
     )
+    fields["dims"] = tuple(int(d) for d in fields.get("dims", ()))
+    fields["link_latencies"] = tuple(
+        int(l) for l in fields.get("link_latencies", ())
+    )
     payload["config"] = dataclasses.asdict(SimulationConfig(**fields))
     return payload
 
@@ -697,6 +730,8 @@ def replay_witness(payload: dict, production: bool = False) -> ReplayResult:
     fields["failed_links"] = tuple(tuple(p) for p in fields["failed_links"])
     fields["length_mix"] = tuple(tuple(p) for p in fields["length_mix"])
     fields["traffic_mix"] = tuple(tuple(p) for p in fields["traffic_mix"])
+    fields["dims"] = tuple(fields.get("dims", ()))
+    fields["link_latencies"] = tuple(fields.get("link_latencies", ()))
     config = oracle_config(SimulationConfig(**fields))
     if production:
         config = config.replace(**_PRODUCTION_OVERRIDES)

@@ -11,6 +11,7 @@ from repro.experiments import (
     fig7,
     fig8,
     node_degree,
+    topology_comparison,
     traffic_patterns,
 )
 from repro.experiments.base import format_table, scaled_config, scaled_loads
@@ -47,6 +48,7 @@ class TestBase:
             "FIG5", "FIG6", "FIG7", "FIG8", "SEC3.5", "SEC3.6",
             "TAB-AVOID", "ABL-DET", "ABL-REC", "ABL-SEL", "ABL-INT",
             "ABL-TIMEOUT", "EXT-LEN", "EXT-GRAN", "EXT-FAULT", "ABL-ARB",
+            "TOPO-CMP",
         }
 
 
@@ -102,6 +104,38 @@ class TestNodeDegree:
             res.observations["high_dim_total_deadlocks"]
             <= res.observations["low_dim_total_deadlocks"]
         )
+
+
+class TestTopologyComparison:
+    def test_shape(self):
+        res = topology_comparison.run(scale="tiny", loads=[0.9, 1.2], **SHORT)
+        assert set(res.sweeps) == {
+            "torus3d/dor", "torus3d-tsv/dor",
+            "dragonfly/df-min", "fullmesh/fm-2hop",
+        }
+        # the full mesh's direct wiring gives it far more raw bandwidth
+        assert (
+            res.observations["fullmesh_capacity_flits"]
+            > res.observations["torus3d_capacity_flits"]
+        )
+        # the TSV dimension strictly reduces capacity at equal geometry
+        assert (
+            res.observations["torus3d_tsv_capacity_flits"]
+            < res.observations["torus3d_capacity_flits"]
+        )
+        # misrouted full-mesh deadlock is provably reachable but rare:
+        # it must never out-deadlock the wraparound torus
+        assert (
+            res.observations["fullmesh_total_deadlocks"]
+            <= res.observations["torus3d_total_deadlocks"]
+        )
+
+    def test_series_specs_cover_every_scale(self):
+        for scale in ("tiny", "bench", "paper"):
+            labels = [label for label, _ in topology_comparison.series_specs(scale)]
+            assert len(labels) == 4
+        with pytest.raises(ConfigurationError):
+            topology_comparison.series_specs("galactic")
 
 
 class TestTrafficPatterns:

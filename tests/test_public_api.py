@@ -52,7 +52,7 @@ def test_subpackage_api():
     from repro.traffic.trace import Trace  # noqa: F401
     from repro.viz import render_occupancy  # noqa: F401
 
-    assert len(ALL_EXPERIMENTS) == 16
+    assert len(ALL_EXPERIMENTS) == 17
 
 
 def test_version():
@@ -61,10 +61,16 @@ def test_version():
 
 def test_cli_registry_coherent():
     from repro.cli import build_parser
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments import ALL_EXPERIMENTS, EXPERIMENT_ALIASES
+
+    # every alias must resolve to a registered experiment id
+    for alias, target in EXPERIMENT_ALIASES.items():
+        assert target in ALL_EXPERIMENTS
+        assert alias not in ALL_EXPERIMENTS
 
     parser = build_parser()
     sub = parser._subparsers._group_actions[0]
     for action in sub.choices["experiment"]._actions:
         if action.dest == "id":
-            assert set(action.choices) - {"all"} == set(ALL_EXPERIMENTS)
+            choices = set(action.choices) - {"all"} - set(EXPERIMENT_ALIASES)
+            assert choices == set(ALL_EXPERIMENTS)
